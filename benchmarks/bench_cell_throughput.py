@@ -1,0 +1,60 @@
+"""A5 — per-cell verification throughput and the paper-scale estimate.
+
+The paper's run took ~12 days for 198,764 cells on 2x12 Xeon cores.
+This bench measures our per-cell latency across easy (quick
+termination), hard (long horizon, heavy branching), and refined cells,
+and extrapolates to the paper's partition size.
+"""
+
+import pytest
+
+from repro.core import (
+    ReachSettings,
+    RefinementPolicy,
+    RunnerSettings,
+    verify_cell,
+)
+
+
+@pytest.fixture(scope="module")
+def cells(tiny_system):
+    from repro.acasxu import initial_cells
+
+    all_cells = initial_cells(16, 4)
+    # Departing geometry (terminates fast), side approach (the paper's
+    # hard region) and head-on (heavy branching).
+    return {
+        "easy-departing": all_cells[0],
+        "hard-side-approach": all_cells[4 * 4 + 2],
+        "hard-head-on": all_cells[8 * 4 + 2],
+    }
+
+
+@pytest.mark.parametrize("kind", ["easy-departing", "hard-side-approach", "hard-head-on"])
+def test_cell_latency(benchmark, tiny_system, cells, kind):
+    box, command, _tags = cells[kind]
+    settings = RunnerSettings(
+        reach=ReachSettings(substeps=10, max_symbolic_states=5)
+    )
+
+    result = benchmark(verify_cell, tiny_system, box, command, settings)
+    benchmark.extra_info["kind"] = kind
+    benchmark.extra_info["verdict"] = result.verdict.value
+    benchmark.extra_info["paper_scale_days_at_this_rate"] = (
+        benchmark.stats.stats.mean * 198_764 / 86_400.0
+        if benchmark.stats is not None
+        else None
+    )
+
+
+def test_refined_cell_latency(benchmark, tiny_system, cells):
+    """Worst case: a failing cell paying the full 8-way refinement."""
+    box, command, _tags = cells["hard-head-on"]
+    settings = RunnerSettings(
+        reach=ReachSettings(substeps=10, max_symbolic_states=5),
+        refinement=RefinementPolicy(dims=(0, 1, 2), max_depth=1),
+    )
+    result = benchmark.pedantic(
+        verify_cell, args=(tiny_system, box, command, settings), rounds=2, iterations=1
+    )
+    benchmark.extra_info["children"] = len(result.children)

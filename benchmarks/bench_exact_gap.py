@@ -1,0 +1,63 @@
+"""Ablation — sound-incomplete domains vs the complete LP verifier.
+
+Section 2's trade-off, measured: complete methods (Reluplex-style) are
+exact but exponential; abstract interpretation is polynomial but
+over-approximates. On a small distilled network we compute the exact
+output range by activation-pattern enumeration + LP and price each
+abstract domain's over-approximation factor and speedup.
+"""
+
+import numpy as np
+import pytest
+
+from repro.intervals import Box
+from repro.nn import Network, TrainingConfig, train_regression
+from repro.verify import (
+    SymbolicPropagator,
+    exact_output_range,
+    tightness_gap,
+)
+
+
+@pytest.fixture(scope="module")
+def small_net():
+    """A small trained network (structure like a distilled controller)."""
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, size=(2000, 2))
+    y = np.column_stack([np.abs(x[:, 0]) + x[:, 1], x[:, 0] * x[:, 1]])
+    net = Network.random([2, 8, 8, 2], rng)
+    train_regression(net, x, y, TrainingConfig(epochs=60, seed=0))
+    return net
+
+
+@pytest.fixture(scope="module")
+def input_box():
+    return Box([-0.6, -0.6], [0.6, 0.6])
+
+
+def test_exact_range_throughput(benchmark, small_net, input_box):
+    result = benchmark.pedantic(
+        exact_output_range, args=(small_net, input_box), rounds=2, iterations=1
+    )
+    assert result.complete
+    benchmark.extra_info["method"] = "complete (LP enumeration)"
+    benchmark.extra_info["patterns"] = result.patterns_explored
+    benchmark.extra_info["lps"] = result.lps_solved
+
+
+def test_symbolic_throughput(benchmark, small_net, input_box):
+    propagator = SymbolicPropagator(small_net)
+    out = benchmark(propagator, input_box)
+    benchmark.extra_info["method"] = "sound-incomplete (symbolic intervals)"
+    benchmark.extra_info["max_width"] = float(out.max_width)
+
+
+def test_overapproximation_factors(benchmark, small_net, input_box, capsys):
+    gaps = benchmark.pedantic(
+        tightness_gap, args=(small_net, input_box), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\nOver-approximation factor vs exact range (1.0 = exact):")
+        for name, ratio in sorted(gaps.items(), key=lambda kv: kv[1]):
+            print(f"  {name:9s} {ratio:6.2f}x")
+    assert all(ratio >= 1.0 - 1e-6 for ratio in gaps.values())

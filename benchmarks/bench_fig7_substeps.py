@@ -1,0 +1,45 @@
+"""Fig. 7 — enclosure tightness vs integration substeps M.
+
+Regenerates the Section 6.4 precision-optimization figure: validated
+simulation of one control period with M in {1, 2, 4, 10}. The timed
+kernel is the M-substep validated integration (Algorithm 1's core); the
+figure data (tube area per M) is attached as ``extra_info`` and the
+shrinking-area property is asserted.
+"""
+
+import pytest
+
+from repro.experiments import fig7_substep_ablation, render_fig7
+from repro.intervals import Interval
+
+
+@pytest.fixture(scope="module")
+def fig7_rows(tiny_system):
+    return fig7_substep_ablation(tiny_system, substep_values=(1, 2, 4, 10))
+
+
+@pytest.mark.parametrize("substeps", [1, 2, 4, 10])
+def test_fig7_validated_simulation(benchmark, tiny_system, substeps):
+    from repro.acasxu import initial_cell
+
+    box = initial_cell(Interval(0.35, 0.40), Interval(0.20, 0.25))
+    u = tiny_system.commands.value(4)
+
+    pipe = benchmark(
+        tiny_system.plant.flow, 0.0, tiny_system.period, box, u, substeps
+    )
+    hull = pipe.enclosure()
+    benchmark.extra_info["tube_xy_area_ft2"] = float(hull.widths[0] * hull.widths[1])
+    benchmark.extra_info["substeps"] = substeps
+
+
+def test_fig7_area_shrinks_with_substeps(benchmark, fig7_rows, capsys):
+    text = benchmark(render_fig7, fig7_rows)
+    with capsys.disabled():
+        print("\n" + text)
+    areas = [row.tube_xy_area for row in fig7_rows]
+    assert areas == sorted(areas, reverse=True), (
+        "the flow tube must tighten monotonically with M (Fig. 7)"
+    )
+    # The paper's illustration shows a substantial gain; require >= 1.5x.
+    assert areas[0] / areas[-1] > 1.5

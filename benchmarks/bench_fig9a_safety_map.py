@@ -1,0 +1,36 @@
+"""Fig. 9a — the map of initial states proved safe / not proved.
+
+Regenerates the left panel of Fig. 9 on the scaled partition: renders
+the per-(arc, heading) verdict map from the shared reference run, and
+times the per-cell kernel (one full Algorithm 3 run from one initial
+cell) that the map is made of.
+"""
+
+from repro.core import ReachSettings, Verdict, reach_from_box
+from repro.experiments import fig9a_grid, render_fig9a
+
+
+def test_fig9a_cell_kernel(benchmark, tiny_system, representative_cell):
+    box, command = representative_cell
+    settings = ReachSettings(substeps=10, max_symbolic_states=5)
+
+    result = benchmark(reach_from_box, tiny_system, box, command, settings)
+    benchmark.extra_info["verdict"] = result.verdict.value
+    benchmark.extra_info["steps_completed"] = result.steps_completed
+
+
+def test_fig9a_map(benchmark, reference_report, capsys):
+    grid = fig9a_grid(reference_report)
+    assert len(grid) == reference_report.total_cells
+    text = benchmark(render_fig9a, reference_report)
+    with capsys.disabled():
+        print("\n" + text)
+
+    proved = sum(1 for v in grid.values() if v >= 0.999)
+    mixed = sum(1 for v in grid.values() if 0.0 < v < 0.999)
+    # The paper's map has both colors; so must ours.
+    assert proved > 0, "some initial cells must be provable"
+    assert proved + mixed < len(grid) or proved < len(grid), (
+        "a fully-green map would mean the scaled experiment lost the "
+        "hard region structure of Fig. 9a"
+    )

@@ -1,0 +1,61 @@
+"""Ablation A1 — the join threshold Gamma (Section 6.4).
+
+"The choice of the threshold Gamma allows a trade-off between accuracy
+(large Gamma) and computational efficiency (small Gamma)." This bench
+runs the same branching-heavy cell with Gamma in {5, 10, 20} and
+records runtime and the amount of joining the heuristic performed.
+"""
+
+import pytest
+
+from repro.core import ReachSettings, reach_from_box
+
+
+@pytest.mark.parametrize("gamma", [5, 10, 20])
+def test_gamma_tradeoff(benchmark, tiny_system, representative_cell, gamma):
+    box, command = representative_cell
+    settings = ReachSettings(
+        substeps=10, max_symbolic_states=gamma, early_exit_on_unsafe=False
+    )
+
+    result = benchmark(reach_from_box, tiny_system, box, command, settings)
+    benchmark.extra_info["gamma"] = gamma
+    benchmark.extra_info["verdict"] = result.verdict.value
+    benchmark.extra_info["joins_performed"] = result.joins_performed
+    benchmark.extra_info["integrations"] = result.integrations
+
+
+def test_larger_gamma_tracks_more_states(benchmark, tiny_system, representative_cell):
+    """Larger Gamma keeps more symbolic states alive, i.e. performs more
+    validated integrations — the "accuracy" side of the trade-off that
+    the runtime numbers above price out."""
+    box, command = representative_cell
+
+    def integrations_for(gamma):
+        result = reach_from_box(
+            tiny_system,
+            box,
+            command,
+            ReachSettings(
+                substeps=10, max_symbolic_states=gamma, early_exit_on_unsafe=False
+            ),
+        )
+        return result.integrations
+
+    small = benchmark.pedantic(integrations_for, args=(5,), rounds=1, iterations=1)
+    large = integrations_for(20)
+    assert large >= small
+
+
+def test_remark_3_lower_bound(benchmark, tiny_system, representative_cell):
+    """Gamma below the command count is rejected (Remark 3)."""
+    box, command = representative_cell
+
+    def rejected():
+        with pytest.raises(ValueError):
+            reach_from_box(
+                tiny_system, box, command, ReachSettings(max_symbolic_states=4)
+            )
+        return True
+
+    assert benchmark(rejected)

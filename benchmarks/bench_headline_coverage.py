@@ -1,0 +1,61 @@
+"""Section 7.2 headline numbers: coverage c, n_d, runtime.
+
+Times a complete (scaled) partition verification with the paper's
+parameters (M = 10, Gamma = 5, 2^3-way split refinement) and reports
+the coverage computed by the paper's formula
+``c = 100/K0 * sum_d n_d / 8^d`` plus the extrapolation to the paper's
+198,764-cell partition.
+"""
+
+from repro.core import (
+    ReachSettings,
+    RefinementPolicy,
+    RunnerSettings,
+    verify_partition,
+)
+from repro.experiments import headline, render_headline
+
+
+def test_headline_partition_run(benchmark, capsys):
+    from repro.acasxu import TINY_SCENARIO, build_system, initial_cells
+
+    cells = initial_cells(8, 3)
+    settings = RunnerSettings(
+        reach=ReachSettings(substeps=10, max_symbolic_states=5),
+        refinement=RefinementPolicy(dims=(0, 1, 2), max_depth=1),
+        workers=1,
+    )
+    system = build_system(TINY_SCENARIO)
+
+    report = benchmark.pedantic(
+        verify_partition,
+        args=(lambda: system, cells, settings),
+        rounds=1,
+        iterations=1,
+    )
+    data = headline(report)
+    with capsys.disabled():
+        print("\n" + render_headline(data))
+    benchmark.extra_info["coverage_percent"] = data.coverage_percent
+    benchmark.extra_info["proved_by_depth"] = {
+        str(k): v for k, v in data.proved_by_depth.items()
+    }
+    benchmark.extra_info["paper_scale_estimate_days"] = data.paper_scale_estimate_days
+
+    # The verification must achieve nonzero coverage, and the coverage
+    # formula must reconcile with the per-depth counts.
+    assert data.coverage_percent > 0.0
+    reconstructed = 100.0 / len(cells) * sum(
+        n / 8.0**d for d, n in data.proved_by_depth.items()
+    )
+    assert abs(reconstructed - data.coverage_percent) < 1e-9
+
+
+def test_headline_formula_on_reference_run(benchmark, reference_report):
+    """The recursive coverage and the closed-form n_d formula agree on
+    the larger shared run too."""
+    counts = benchmark(reference_report.proved_count_by_depth)
+    closed_form = 100.0 / reference_report.total_cells * sum(
+        n / 8.0**d for d, n in counts.items()
+    )
+    assert abs(closed_form - reference_report.coverage_percent()) < 1e-9

@@ -1,0 +1,81 @@
+"""Ablation A2 — the network abstract transformer F#.
+
+The paper builds F# on ReluVal's symbolic interval propagation
+(Section 6.6). This bench compares the four implemented domains on the
+trained ACAS networks — plain interval propagation (IBP), ReluVal-style
+symbolic intervals, DeepPoly-style slope relaxation, AI2-style
+zonotopes — in both runtime and output tightness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.intervals import Box
+from repro.verify import IntervalPropagator, SymbolicPropagator, ZonotopePropagator
+
+
+def _input_box(tiny_system):
+    """A pre-processed controller input box (normalized units)."""
+    from repro.acasxu import AcasPre
+
+    state_box = Box(
+        [-400.0, 6500.0, 2.8, 700.0, 600.0],
+        [400.0, 7500.0, 3.2, 700.0, 600.0],
+    )
+    return AcasPre().abstract(state_box)
+
+
+def _propagator(kind, network):
+    if kind == "ibp":
+        return IntervalPropagator(network)
+    if kind == "zonotope":
+        return ZonotopePropagator(network)
+    return SymbolicPropagator(network, kind)
+
+
+@pytest.mark.parametrize("kind", ["ibp", "reluval", "deeppoly", "zonotope"])
+def test_transformer_throughput(benchmark, tiny_system, kind):
+    network = tiny_system.controller.networks[0]
+    box = _input_box(tiny_system)
+    propagator = _propagator(kind, network)
+
+    out = benchmark(propagator, box)
+    benchmark.extra_info["domain"] = kind
+    benchmark.extra_info["max_output_width"] = float(out.max_width)
+
+
+def test_symbolic_tighter_than_ibp(benchmark, tiny_system, capsys):
+    network = tiny_system.controller.networks[0]
+    box = _input_box(tiny_system)
+
+    def all_widths():
+        return {
+            kind: float(_propagator(kind, network)(box).max_width)
+            for kind in ("ibp", "reluval", "deeppoly", "zonotope")
+        }
+
+    widths = benchmark(all_widths)
+    with capsys.disabled():
+        print("\nA2 — F# output widths on an ACAS input box:")
+        for kind, width in widths.items():
+            print(f"  {kind:9s} {width:.4f}")
+    assert widths["reluval"] <= widths["ibp"]
+    assert widths["deeppoly"] <= widths["ibp"]
+    assert widths["zonotope"] <= widths["ibp"]
+
+
+def test_all_domains_agree_on_soundness(benchmark, tiny_system):
+    """Every domain's output contains the concrete network outputs."""
+    network = tiny_system.controller.networks[0]
+    box = _input_box(tiny_system)
+    rng = np.random.default_rng(0)
+    outputs = benchmark(
+        lambda: [
+            _propagator(k, network)(box)
+            for k in ("ibp", "reluval", "deeppoly", "zonotope")
+        ]
+    )
+    for x in box.sample(rng, 50):
+        y = network.forward(x)
+        for out in outputs:
+            assert out.contains_point(y)

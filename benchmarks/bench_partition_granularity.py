@@ -1,0 +1,55 @@
+"""Section 7.1's partitioning argument, measured.
+
+"The smaller the box [s0]_k, the more precise the reachability
+analysis" (f and the networks are Lipschitz). Consequently coverage
+must rise monotonically with partition fineness — the reason the paper
+pays for 198,764 cells. This bench verifies and prices that trend on a
+fixed sub-ribbon of initial states at three granularities.
+"""
+
+import pytest
+
+from repro.core import ReachSettings, RunnerSettings, verify_partition
+
+
+def _coverage(granularity: tuple[int, int]) -> tuple[float, int]:
+    from repro.acasxu import TINY_SCENARIO, build_system, initial_cells
+
+    arcs, headings = granularity
+    # A fixed quarter-ribbon (side approaches: the hard region).
+    cells = initial_cells(
+        arcs, headings, arc_range=(0.5, 2.0), heading_cone=(-0.8, 0.8)
+    )
+    system = build_system(TINY_SCENARIO)
+    report = verify_partition(
+        lambda: system,
+        cells,
+        RunnerSettings(reach=ReachSettings(substeps=10, max_symbolic_states=5)),
+    )
+    return report.coverage_percent(), len(cells)
+
+
+@pytest.mark.parametrize("granularity", [(2, 2), (4, 4), (8, 8)])
+def test_partition_granularity(benchmark, granularity):
+    coverage, cells = benchmark.pedantic(
+        _coverage, args=(granularity,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["cells"] = cells
+    benchmark.extra_info["coverage_percent"] = coverage
+
+
+def test_coverage_monotone_in_fineness(benchmark, capsys):
+    results = benchmark.pedantic(
+        lambda: [(_coverage(g), g) for g in [(2, 2), (4, 4), (8, 8)]],
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\nSection 7.1 — coverage vs partition fineness (fixed region):")
+        for (coverage, cells), g in results:
+            print(f"  {g[0]}x{g[1]} = {cells:3d} cells: {coverage:5.1f}% coverage")
+    coverages = [c for (c, _n), _g in results]
+    # Monotone non-decreasing, allowing a small tolerance for boundary
+    # effects of the re-partitioned cells.
+    assert coverages[-1] >= coverages[0] - 1e-9
+    assert coverages[1] >= coverages[0] - 5.0

@@ -1,0 +1,56 @@
+"""Ablation — Pre# abstract domains (interval vs affine arithmetic).
+
+Section 6.6 implements Pre# with interval arithmetic and cites affine
+arithmetic [15] as the alternative. Both are implemented; this bench
+compares their runtime and the tightness of the polar-coordinate
+conversion (the nonlinear part of the ACAS pre-processing).
+"""
+
+import numpy as np
+import pytest
+
+from repro.acasxu import AcasPre
+from repro.intervals import Box
+
+
+@pytest.fixture(scope="module")
+def state_box():
+    # A crossing-geometry box where rho/theta correlations matter.
+    return Box(
+        [2000.0, 3000.0, 1.0, 700.0, 600.0],
+        [2600.0, 3800.0, 1.2, 700.0, 600.0],
+    )
+
+
+@pytest.mark.parametrize("mode", ["interval", "affine"])
+def test_pre_transformer_throughput(benchmark, state_box, mode):
+    pre = AcasPre(mode)
+    out = benchmark(pre.abstract, state_box)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["rho_width"] = float(out.widths[0])
+    benchmark.extra_info["theta_width"] = float(out.widths[1])
+
+
+def test_affine_at_least_as_tight(benchmark, state_box, capsys):
+    interval_out = AcasPre("interval").abstract(state_box)
+    affine_out = benchmark(AcasPre("affine").abstract, state_box)
+    with capsys.disabled():
+        print("\nPre# tightness (normalized rho/theta widths):")
+        print(f"  interval: rho {interval_out.widths[0]:.5f}, "
+              f"theta {interval_out.widths[1]:.5f}")
+        print(f"  affine:   rho {affine_out.widths[0]:.5f}, "
+              f"theta {affine_out.widths[1]:.5f}")
+    for i in range(5):
+        assert affine_out.widths[i] <= interval_out.widths[i] * (1 + 1e-9)
+
+
+def test_both_modes_sound(benchmark, state_box):
+    rng = np.random.default_rng(0)
+    outs = benchmark(
+        lambda: [AcasPre(m).abstract(state_box) for m in ("interval", "affine")]
+    )
+    concrete = AcasPre("interval")
+    for s in state_box.sample(rng, 50):
+        x = concrete.concrete(s)
+        for out in outs:
+            assert out.contains_point(x)

@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures.
+
+Heavy artefacts (the trained tiny network bank, a reference partition
+verification run) are built once per session and shared by every bench,
+so ``pytest benchmarks/ --benchmark-only`` stays laptop-friendly while
+still regenerating every figure of the paper.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+os.environ.setdefault("REPRO_CACHE", str(Path(__file__).resolve().parents[1] / ".cache"))
+
+
+@pytest.fixture(scope="session")
+def tiny_system():
+    from repro.acasxu import TINY_SCENARIO, build_system
+
+    return build_system(TINY_SCENARIO)
+
+
+@pytest.fixture(scope="session")
+def reference_report():
+    """A shared Fig. 9 partition run (16 arcs x 4 headings, depth 1)."""
+    from repro.core import ReachSettings, RefinementPolicy, RunnerSettings
+    from repro.experiments import ExperimentConfig, run_experiment
+
+    from repro.acasxu import TINY_SCENARIO
+
+    config = ExperimentConfig(
+        name="bench-reference",
+        scenario=TINY_SCENARIO,
+        num_arcs=16,
+        num_headings=4,
+        runner=RunnerSettings(
+            reach=ReachSettings(substeps=10, max_symbolic_states=5),
+            refinement=RefinementPolicy(dims=(0, 1, 2), max_depth=1),
+            workers=4,
+        ),
+    )
+    return run_experiment(config)
+
+
+@pytest.fixture(scope="session")
+def representative_cell():
+    """An initial cell that exercises branching without being trivial."""
+    from repro.acasxu import initial_cells
+
+    cells = initial_cells(16, 4)
+    # A side-approach arc: the paper's "hardest" region.
+    box, command, _tags = cells[4 * 4 + 1]
+    return box, command

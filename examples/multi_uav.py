@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Two equipped aircraft (the Section 8 multi-UAV extension).
+
+Both the ownship and the intruder run the 5-network collision-avoidance
+controller; the joint command set is U x U (25 advisory pairs) and the
+procedure is unchanged — only Gamma must be at least 25 (Remark 3).
+
+The example (1) simulates a head-on encounter where both aircraft
+maneuver, showing the cooperative dodge, and (2) runs the sound
+reachability procedure on a small initial box of the two-agent loop.
+
+Run:  python examples/multi_uav.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.acasxu import ADVISORIES, TINY_SCENARIO
+from repro.acasxu.multi_uav import (
+    build_multi_uav_system,
+    pair_index,
+    split_pair,
+)
+from repro.baselines import simulate
+from repro.core import ReachSettings, reach_from_box
+from repro.intervals import Box
+
+
+def main() -> None:
+    print("building the two-agent closed loop (both aircraft equipped) ...")
+    system = build_multi_uav_system(TINY_SCENARIO, horizon_steps=12)
+    print(f"  joint command set: {len(system.commands)} advisory pairs")
+
+    # ------------------------------------------------------------------
+    # 1. A concrete head-on encounter: both aircraft see each other.
+    # ------------------------------------------------------------------
+    state = np.array([25.0, 7900.0, math.pi, 700.0, 600.0])
+    start = pair_index(0, 0)  # both Clear-of-Conflict
+    trajectory = simulate(system, state, start, samples_per_period=4)
+    print("\nhead-on encounter, both controllers active (uncoordinated):")
+    print("  t    rho      ownship  intruder")
+    for j, command in enumerate(trajectory.commands):
+        own, intr = split_pair(command)
+        s = trajectory.states[j * 4]
+        rho = math.hypot(s[0], s[1])
+        print(f"  {j:2d} {rho:8.0f}  {ADVISORIES[own]:>7} {ADVISORIES[intr]:>9}")
+    distances = np.hypot(trajectory.states[:, 0], trajectory.states[:, 1])
+    print(f"  minimum separation: {float(distances.min()):.0f} ft "
+          f"({'COLLISION' if trajectory.reached_error else 'safe'})")
+    print("  NOTE: uncoordinated dual equipage can be *worse* than single "
+          "equipage — each aircraft reacts to the other's maneuver, and "
+          "near-symmetric encounters provoke advisory dithering that "
+          "burns the available separation. The fielded system prevents "
+          "this with coordination messages; verifying the uncoordinated "
+          "loop makes the hazard visible, which is the point of the "
+          "analysis.")
+
+    # ------------------------------------------------------------------
+    # 2. Sound reachability on the two-agent loop.
+    # ------------------------------------------------------------------
+    # Gamma must be >= |U x U| = 25 (Remark 3).
+    settings = ReachSettings(substeps=6, max_symbolic_states=30)
+
+    print("\nreachability, benign geometry (intruder behind, departing):")
+    benign = Box(
+        [-20.0, -7920.0, -0.01, 700.0, 600.0],
+        [20.0, -7880.0, 0.01, 700.0, 600.0],
+    )
+    result = reach_from_box(system, benign, pair_index(0, 0), settings)
+    print(f"  verdict: {result.verdict.value} "
+          f"(terminated at step {result.termination_step}, "
+          f"{result.integrations} validated integrations)")
+
+    print("\nreachability, crossing encounter:")
+    crossing = Box(
+        [-4020.0, 6910.0, -1.93, 700.0, 600.0],
+        [-3980.0, 6950.0, -1.91, 700.0, 600.0],
+    )
+    result = reach_from_box(system, crossing, pair_index(0, 0), settings)
+    print(f"  verdict: {result.verdict.value} "
+          f"(first possible E-entry at t = {result.unsafe_time}s)")
+    print("\nThe same Algorithm 3 drives the two-controller loop — the "
+          "extension the paper sketches in Section 8 — and correctly "
+          "flags the coordination hazard the concrete run exhibited.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — safety verification of neural network controlled systems.
+
+A from-scratch reproduction of Claviere, Asselin, Garion & Pagetti,
+*Safety Verification of Neural Network Controlled Systems* (DSN 2021):
+a reachability analysis for closed loops of a continuous-time plant and
+a discrete-time ReLU-network controller, combining validated ODE
+simulation with abstract interpretation of the controller, evaluated on
+the neural-network ACAS Xu.
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.intervals`  — interval/affine arithmetic substrate;
+* :mod:`repro.ode`        — validated simulation (DynIBEX substitute);
+* :mod:`repro.nn`         — ReLU networks, trainer, .nnet format;
+* :mod:`repro.verify`     — NN abstract interpretation (ReluVal substitute);
+* :mod:`repro.sets`       — state-set specifications (I, E, T);
+* :mod:`repro.core`       — the paper's procedure (Algorithms 1-3);
+* :mod:`repro.acasxu`     — the ACAS Xu use case;
+* :mod:`repro.baselines`  — simulation, falsification, discrete baseline;
+* :mod:`repro.experiments`— figure-by-figure evaluation harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "acasxu",
+    "baselines",
+    "core",
+    "experiments",
+    "intervals",
+    "nn",
+    "ode",
+    "sets",
+    "verify",
+]

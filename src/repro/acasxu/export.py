@@ -1,0 +1,72 @@
+"""Export the trained ACAS bank in the standard ``.nnet`` format.
+
+The neural ACAS Xu ecosystem (Reluplex, ReluVal, NNV, ...) exchanges
+networks as ``.nnet`` files with embedded input-normalization metadata.
+This module writes our trained bank in that format — normalization
+constants included, so third-party tools evaluate the *same function*
+our controller computes after ``Pre`` — and reads such files back into
+a controller.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..nn import NNetMetadata, Network, load_nnet, save_nnet
+from .controller import INPUT_MEANS, INPUT_RANGES
+from .mdp import ADVISORIES, NUM_ADVISORIES
+
+
+def bank_metadata() -> NNetMetadata:
+    """The normalization metadata matching :mod:`repro.acasxu.controller`.
+
+    Output normalization is the identity: our Post stage consumes raw
+    scores (argmin is scale-invariant).
+    """
+    input_mins = np.array([0.0, -np.pi, -4.5, 100.0, 100.0])
+    input_maxes = np.array([12000.0, np.pi, 4.5, 1200.0, 1200.0])
+    means = np.append(INPUT_MEANS, 0.0)
+    ranges = np.append(INPUT_RANGES, 1.0)
+    return NNetMetadata(input_mins, input_maxes, means, ranges)
+
+
+def export_bank(networks: list[Network], directory: str | Path) -> list[Path]:
+    """Write the 5 networks as ``ACASXU_repro_<ADV>.nnet`` files.
+
+    Returns the written paths (one per previous advisory).
+    """
+    if len(networks) != NUM_ADVISORIES:
+        raise ValueError(f"expected {NUM_ADVISORIES} networks, got {len(networks)}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    metadata = bank_metadata()
+    paths = []
+    for advisory, network in zip(ADVISORIES, networks):
+        path = directory / f"ACASXU_repro_{advisory}.nnet"
+        save_nnet(
+            network,
+            path,
+            metadata,
+            header=(
+                f"repro ACAS Xu bank - previous advisory {advisory}; "
+                "inputs (rho, theta, psi, v_own, v_int), outputs are "
+                "advisory scores (argmin)"
+            ),
+        )
+        paths.append(path)
+    return paths
+
+
+def import_bank(directory: str | Path) -> list[Network]:
+    """Read a bank previously written by :func:`export_bank`."""
+    directory = Path(directory)
+    networks = []
+    for advisory in ADVISORIES:
+        path = directory / f"ACASXU_repro_{advisory}.nnet"
+        if not path.exists():
+            raise FileNotFoundError(f"missing bank member: {path}")
+        network, _metadata = load_nnet(path)
+        networks.append(network)
+    return networks

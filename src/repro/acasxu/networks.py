@@ -1,0 +1,148 @@
+"""Training and caching of the 5 ACAS Xu networks (Example 3).
+
+Each network approximates one score table (one per previous advisory),
+with the paper's architecture — 6 hidden layers of 50 ReLU nodes, 5
+inputs, 5 outputs — trained by supervised regression exactly as the
+original networks were (Julian et al. [16]). Training is deterministic
+(seeded) and the results are cached on disk, keyed by the table and
+network configurations, so tests and benchmarks pay the cost once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..nn import Network, TrainingConfig, load_npz, save_npz, train_regression
+from .controller import normalize_inputs
+from .mdp import NUM_ADVISORIES, AcasTables, TableConfig, generate_tables
+
+
+@dataclass(frozen=True)
+class NetworkBankConfig:
+    """Architecture and training recipe for the 5-network bank."""
+
+    hidden_layers: int = 6
+    width: int = 50
+    epochs: int = 150
+    random_samples: int = 12000
+    learning_rate: float = 2e-3
+    seed: int = 0
+
+    def key(self) -> str:
+        payload = json.dumps(self.__dict__, sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+#: Paper-faithful architecture (Example 3: 6 hidden layers x 50 nodes).
+PAPER_NETWORKS = NetworkBankConfig()
+#: Small bank for fast tests: same wiring, fraction of the capacity.
+TINY_NETWORKS = NetworkBankConfig(
+    hidden_layers=2, width=16, epochs=60, random_samples=3000
+)
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-nncs"
+
+
+def _training_data(
+    tables: AcasTables, prev: int, config: NetworkBankConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Grid points plus random interpolated samples for one advisory."""
+    cfg = tables.config
+    grid = tables.grid_points()
+    rng = np.random.default_rng(config.seed + prev)
+    random_points = np.column_stack(
+        [
+            rng.uniform(0.0, cfg.rho_max, config.random_samples),
+            rng.uniform(-np.pi, np.pi, config.random_samples),
+            rng.uniform(-cfg.psi_max, cfg.psi_max, config.random_samples),
+        ]
+    )
+    points = np.vstack([grid, random_points])
+    targets = np.array(
+        [tables.scores(prev, r, t, p) for r, t, p in points]
+    )
+    # Center the scores per state: the shared state-value level dwarfs
+    # the per-advisory differentials that actually decide the argmin, so
+    # regressing raw scores would spend all capacity on the level.
+    # Centering and rescaling are argmin-invariant, so the controller
+    # semantics are unchanged.
+    targets = targets - targets.mean(axis=1, keepdims=True)
+    spread = targets.std() or 1.0
+    targets = targets / spread
+    raw_inputs = np.column_stack(
+        [
+            points,
+            np.full(len(points), cfg.v_own),
+            np.full(len(points), cfg.v_int),
+        ]
+    )
+    return normalize_inputs(raw_inputs), targets
+
+
+def train_network_bank(
+    tables: AcasTables, config: NetworkBankConfig | None = None
+) -> list[Network]:
+    """Train the 5 networks from scratch (deterministic given seeds)."""
+    config = config or PAPER_NETWORKS
+    layer_sizes = [5] + [config.width] * config.hidden_layers + [NUM_ADVISORIES]
+    networks: list[Network] = []
+    for prev in range(NUM_ADVISORIES):
+        inputs, targets = _training_data(tables, prev, config)
+        net = Network.random(layer_sizes, np.random.default_rng(config.seed + 100 + prev))
+        train_regression(
+            net,
+            inputs,
+            targets,
+            TrainingConfig(
+                epochs=config.epochs,
+                learning_rate=config.learning_rate,
+                seed=config.seed + 200 + prev,
+            ),
+        )
+        networks.append(net)
+    return networks
+
+
+def load_or_train_networks(
+    table_config: TableConfig | None = None,
+    network_config: NetworkBankConfig | None = None,
+    cache_dir: Path | None = None,
+) -> tuple[list[Network], AcasTables]:
+    """Load the network bank (and tables) from cache, or build them.
+
+    Returns ``(networks, tables)``. The cache key covers both configs,
+    so different resolutions/architectures coexist.
+    """
+    table_config = table_config or TableConfig()
+    network_config = network_config or PAPER_NETWORKS
+    cache_dir = cache_dir or default_cache_dir()
+    key = f"{table_config.key()}-{network_config.key()}"
+    bank_dir = cache_dir / key
+    bank_dir.mkdir(parents=True, exist_ok=True)
+
+    tables_path = bank_dir / "tables.npz"
+    if tables_path.exists():
+        tables = AcasTables.load(tables_path, table_config)
+    else:
+        tables = generate_tables(table_config)
+        tables.save(tables_path)
+
+    paths = [bank_dir / f"network_{i}.npz" for i in range(NUM_ADVISORIES)]
+    if all(p.exists() for p in paths):
+        return [load_npz(p) for p in paths], tables
+
+    networks = train_network_bank(tables, network_config)
+    for net, path in zip(networks, paths):
+        save_npz(net, path)
+    return networks, tables

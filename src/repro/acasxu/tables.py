@@ -1,0 +1,44 @@
+"""The lookup-table ACAS Xu controller (the pre-neural-network design).
+
+This is the design the networks were distilled from: each control step
+interpolates the score table selected by the previous advisory and
+takes the advisory with the minimal score. It serves three roles here:
+
+* training-data generator for the 5 networks;
+* reference/baseline controller (the thing the networks approximate);
+* robust fallback for the runtime monitor (Section 7.2's suggestion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dynamics import polar_from_cartesian
+from .mdp import AcasTables
+
+
+class LookupTableController:
+    """Concrete controller driven directly by the score tables.
+
+    Matches the concrete interface of
+    :class:`repro.core.system.Controller` (``execute`` plus the
+    ``commands`` attribute), so it can stand in for the network
+    controller in simulation, evaluation and monitoring code. It has no
+    abstract semantics — that is precisely why the paper needed the
+    network verification machinery once tables were replaced by
+    networks.
+    """
+
+    def __init__(self, tables: AcasTables):
+        from .controller import command_set
+
+        self.tables = tables
+        self.commands = command_set()
+
+    def scores(self, state: np.ndarray, previous_command: int) -> np.ndarray:
+        rho, theta = polar_from_cartesian(state)
+        psi = float(state[2])
+        return self.tables.scores(previous_command, rho, theta, psi)
+
+    def execute(self, state: np.ndarray, previous_command: int) -> int:
+        return int(np.argmin(self.scores(state, previous_command)))

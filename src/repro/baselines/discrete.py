@@ -1,0 +1,122 @@
+"""The discrete-instant baseline ([7]: Julian & Kochenderfer, DASC'19).
+
+Section 2 criticizes this ad hoc approach on two grounds, both
+reproduced faithfully here so the comparison benchmark can demonstrate
+them:
+
+1. **Discrete instants only** — states are checked against the unsafe
+   set ``E`` only at the sampling instants ``t = jT``; an excursion into
+   ``E`` *between* samples is invisible.
+2. **Pointwise exploration** — the continuum of states is represented
+   by finitely many sample points per cell (corners + center + random),
+   so behaviour between the points is extrapolated, not bounded.
+
+The method can therefore answer "no collision found" for a cell that
+our sound procedure correctly flags; it is a *falsification-flavoured*
+analysis dressed up as verification, which is exactly the gap the
+paper's sound procedure closes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import ClosedLoopSystem
+from ..intervals import Box
+
+
+class DiscreteVerdict(enum.Enum):
+    """What the (unsound) baseline reports for a cell."""
+
+    NO_COLLISION_FOUND = "no-collision-found"
+    COLLISION_FOUND = "collision-found"
+
+
+@dataclass
+class DiscreteAnalysisResult:
+    verdict: DiscreteVerdict
+    points_explored: int
+    steps_simulated: int
+    #: First sampling instant at which a collision was observed.
+    collision_time: float | None = None
+
+
+def discrete_instant_analysis(
+    system: ClosedLoopSystem,
+    cell: Box,
+    initial_command: int,
+    extra_samples: int = 8,
+    seed: int = 0,
+    check_between_samples: bool = False,
+    between_sample_resolution: int = 10,
+) -> DiscreteAnalysisResult:
+    """Analyze one initial cell the DASC'19 way.
+
+    ``check_between_samples=False`` is the faithful baseline (checks E
+    only at ``t = jT``); setting it to True upgrades the *instant*
+    weakness while keeping the *pointwise* weakness, which lets the
+    comparison benchmark attribute misses to each cause separately.
+    """
+    rng = np.random.default_rng(seed)
+    points = [cell.center]
+    if cell.dim <= 20:
+        points.extend(cell.corners())
+    if extra_samples > 0:
+        points.extend(cell.sample(rng, extra_samples))
+
+    flow_point = getattr(system.plant.integrator, "flow_point", None)
+    period = system.period
+    result = DiscreteAnalysisResult(
+        verdict=DiscreteVerdict.NO_COLLISION_FOUND,
+        points_explored=len(points),
+        steps_simulated=0,
+    )
+
+    for start in points:
+        state = np.asarray(start, dtype=float).copy()
+        command = initial_command
+        for j in range(system.horizon_steps):
+            if system.erroneous.contains_point(state):
+                _record_collision(result, j * period)
+                return result
+            if system.target.contains_point(state):
+                break
+            next_command = system.controller.execute(state, command)
+            u = system.commands.value(command)
+            t_start = j * period
+            if check_between_samples:
+                for k in range(1, between_sample_resolution + 1):
+                    dt = period * k / between_sample_resolution
+                    mid = (
+                        flow_point(state, u, dt)
+                        if flow_point is not None
+                        else system.plant.simulate_point(
+                            t_start, t_start + dt, state, u
+                        )
+                    )
+                    if system.erroneous.contains_point(mid):
+                        _record_collision(result, t_start + dt)
+                        return result
+                state = np.asarray(mid, dtype=float)
+            else:
+                state = (
+                    flow_point(state, u, period)
+                    if flow_point is not None
+                    else system.plant.simulate_point(
+                        t_start, t_start + period, state, u
+                    )
+                )
+            command = next_command
+            result.steps_simulated += 1
+        if system.erroneous.contains_point(state):
+            _record_collision(result, system.horizon)
+            return result
+    return result
+
+
+def _record_collision(result: DiscreteAnalysisResult, time: float) -> None:
+    result.verdict = DiscreteVerdict.COLLISION_FOUND
+    result.collision_time = time

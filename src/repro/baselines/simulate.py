@@ -1,0 +1,107 @@
+"""Concrete closed-loop simulation (the ground-truth oracle).
+
+Simulates the closed loop of Section 4.1 exactly as modelled: the
+controller samples the state at ``t = jT``, computes ``u_{j+1}`` during
+``[jT, (j+1)T)``, and the zero-order hold applies it from ``(j+1)T``.
+Used by the soundness tests (trajectories must stay inside the reach
+sets), by the falsifier, and by the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import ClosedLoopSystem
+
+
+@dataclass
+class Trajectory:
+    """A sampled closed-loop run.
+
+    ``times``/``states`` include ``samples_per_period`` interior points
+    per control period (so between-sample behaviour is visible);
+    ``commands[j]`` is the command index in force during period ``j``.
+    """
+
+    times: np.ndarray
+    states: np.ndarray
+    commands: list[int]
+    reached_error: bool = False
+    error_time: float | None = None
+    terminated: bool = False
+    termination_time: float | None = None
+    sample_states: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return float(self.times[-1]) if len(self.times) else 0.0
+
+
+def simulate(
+    system: ClosedLoopSystem,
+    initial_state: np.ndarray,
+    initial_command: int,
+    samples_per_period: int = 10,
+    stop_on_error: bool = False,
+) -> Trajectory:
+    """Run the closed loop concretely over the system's horizon.
+
+    Uses the plant integrator's exact ``flow_point`` when available
+    (analytic flows), falling back to high-accuracy scipy integration.
+    Termination (entering ``T``) and error entry (entering ``E``) are
+    checked on the fine time grid.
+    """
+    if samples_per_period < 1:
+        raise ValueError("samples_per_period must be >= 1")
+    state = np.asarray(initial_state, dtype=float).copy()
+    command = initial_command
+    period = system.period
+
+    times = [0.0]
+    states = [state.copy()]
+    commands: list[int] = []
+    sample_states = [state.copy()]
+    trajectory = Trajectory(
+        times=np.zeros(0), states=np.zeros((0, state.shape[0])), commands=commands
+    )
+
+    flow_point = getattr(system.plant.integrator, "flow_point", None)
+
+    for j in range(system.horizon_steps):
+        if system.target.contains_point(state):
+            trajectory.terminated = True
+            trajectory.termination_time = j * period
+            break
+        next_command = system.controller.execute(state, command)
+        commands.append(command)
+        u = system.commands.value(command)
+        step_start = state.copy()
+        for k in range(1, samples_per_period + 1):
+            dt = period * k / samples_per_period
+            if flow_point is not None:
+                point = flow_point(step_start, u, dt)
+            else:
+                point = system.plant.simulate_point(
+                    j * period, j * period + dt, step_start, u
+                )
+            times.append(j * period + dt)
+            states.append(np.asarray(point, dtype=float))
+            if not trajectory.reached_error and system.erroneous.contains_point(point):
+                trajectory.reached_error = True
+                trajectory.error_time = j * period + dt
+                if stop_on_error:
+                    state = np.asarray(point, dtype=float)
+                    break
+        else:
+            state = states[-1].copy()
+            sample_states.append(state.copy())
+            command = next_command
+            continue
+        break  # stop_on_error tripped
+
+    trajectory.times = np.array(times)
+    trajectory.states = np.array(states)
+    trajectory.sample_states = sample_states
+    return trajectory

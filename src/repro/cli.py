@@ -1,0 +1,330 @@
+"""Command-line interface: ``python -m repro`` / ``repro-nncs``.
+
+Subcommands:
+
+* ``train``    — build (or load) the synthetic tables and network bank;
+* ``verify``   — run a partition verification experiment (Fig. 9 data);
+* ``show``     — render a saved report as the paper's figures;
+* ``falsify``  — hunt for concrete counterexamples in unproved cells;
+* ``simulate`` — run and print one concrete encounter;
+* ``fig7``     — the substep-tightness ablation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+import numpy as np
+
+
+def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        choices=["tiny", "paper"],
+        default="tiny",
+        help="network/table fidelity (tiny trains in seconds, paper in minutes)",
+    )
+
+
+def _scenario(name: str):
+    from .acasxu import PAPER_SCENARIO, TINY_SCENARIO
+
+    return PAPER_SCENARIO if name == "paper" else TINY_SCENARIO
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from .acasxu import LookupTableController, load_or_train_networks, normalize_inputs
+
+    scenario = _scenario(args.scenario)
+    networks, tables = load_or_train_networks(
+        scenario.table_config, scenario.network_config
+    )
+    rng = np.random.default_rng(0)
+    agree = 0
+    trials = 1000
+    for _ in range(trials):
+        rho = rng.uniform(500, 10000)
+        theta = rng.uniform(-math.pi, math.pi)
+        psi = rng.uniform(-3.5, 3.5)
+        prev = int(rng.integers(5))
+        x = normalize_inputs(np.array([rho, theta, psi, 700.0, 600.0]))
+        net = int(np.argmin(networks[prev].forward(x)))
+        table = int(np.argmin(tables.scores(prev, rho, theta, psi)))
+        agree += net == table
+    print(f"networks ready ({args.scenario}); argmin agreement with tables: "
+          f"{100.0 * agree / trials:.1f}%")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .core import ReachSettings, RefinementPolicy, RunnerSettings
+    from .experiments import ExperimentConfig, render_report, run_experiment
+
+    config = ExperimentConfig(
+        name="cli",
+        scenario=_scenario(args.scenario),
+        num_arcs=args.arcs,
+        num_headings=args.headings,
+        runner=RunnerSettings(
+            reach=ReachSettings(
+                substeps=args.substeps, max_symbolic_states=args.gamma
+            ),
+            refinement=RefinementPolicy(dims=(0, 1, 2), max_depth=args.depth),
+            workers=args.workers,
+        ),
+    )
+
+    def progress(done: int, total: int) -> None:
+        if done % max(total // 20, 1) == 0 or done == total:
+            print(f"  {done}/{total} cells", file=sys.stderr)
+
+    report = run_experiment(config, progress=progress)
+    print(render_report(report))
+    if args.out:
+        report.to_json(args.out)
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    from .core import VerificationReport
+    from .experiments import render_report, write_fig9a_svg
+
+    report = VerificationReport.from_json(args.report)
+    print(render_report(report))
+    if args.svg:
+        write_fig9a_svg(report, args.svg)
+        print(f"\npolar safety map written to {args.svg}")
+    return 0
+
+
+def cmd_falsify(args: argparse.Namespace) -> int:
+    from .acasxu import SENSOR_RANGE_FT, build_system
+    from .baselines import cross_entropy_falsification, min_distance_robustness
+    from .intervals import Box
+
+    system = build_system(_scenario(args.scenario))
+
+    def decode(params):
+        phi, delta = params
+        psi = (phi + math.pi + delta + math.pi) % (2 * math.pi) - math.pi
+        state = np.array(
+            [
+                -SENSOR_RANGE_FT * math.sin(phi),
+                SENSOR_RANGE_FT * math.cos(phi),
+                psi,
+                700.0,
+                600.0,
+            ]
+        )
+        return state, 0
+
+    result = cross_entropy_falsification(
+        system,
+        Box([-math.pi, -math.pi / 2], [math.pi, math.pi / 2]),
+        decode,
+        robustness=min_distance_robustness((0, 1), 500.0),
+        population=args.population,
+        generations=args.generations,
+        seed=args.seed,
+    )
+    print(f"trajectories run: {result.trajectories_run}")
+    print(f"best robustness (min distance - 500 ft): {result.best_robustness:.1f}")
+    if result.falsified:
+        phi, delta = result.witness_params
+        print(
+            f"COUNTEREXAMPLE: intruder entering at bearing {math.degrees(phi):.1f}° "
+            f"with heading offset {math.degrees(delta):.1f}° collides at "
+            f"t = {result.witness.error_time:.1f}s"
+        )
+    else:
+        print("no counterexample found")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from .acasxu import ADVISORIES, SENSOR_RANGE_FT, build_system
+    from .baselines import simulate
+
+    system = build_system(_scenario(args.scenario))
+    phi = math.radians(args.bearing)
+    delta = math.radians(args.heading_offset)
+    psi = (phi + math.pi + delta + math.pi) % (2 * math.pi) - math.pi
+    state = np.array(
+        [
+            -SENSOR_RANGE_FT * math.sin(phi),
+            SENSOR_RANGE_FT * math.cos(phi),
+            psi,
+            700.0,
+            600.0,
+        ]
+    )
+    trajectory = simulate(system, state, 0)
+    print("  t    x        y        rho      advisory")
+    for j, command in enumerate(trajectory.commands):
+        idx = j * 10
+        s = trajectory.states[idx]
+        rho = math.hypot(s[0], s[1])
+        print(
+            f"  {trajectory.times[idx]:4.1f} {s[0]:8.0f} {s[1]:8.0f} "
+            f"{rho:8.0f}  {ADVISORIES[command]}"
+        )
+    distances = np.hypot(trajectory.states[:, 0], trajectory.states[:, 1])
+    print(f"minimum separation: {float(distances.min()):.0f} ft "
+          f"({'COLLISION' if trajectory.reached_error else 'safe'})")
+    return 0
+
+
+def cmd_fig7(args: argparse.Namespace) -> int:
+    from .acasxu import build_system
+    from .experiments import fig7_substep_ablation, render_fig7
+
+    system = build_system(_scenario(args.scenario))
+    rows = fig7_substep_ablation(system)
+    print(render_fig7(rows))
+    return 0
+
+
+def cmd_props(args: argparse.Namespace) -> int:
+    from .acasxu import load_or_train_networks
+    from .acasxu.properties import check_catalog, standard_properties
+
+    scenario = _scenario(args.scenario)
+    networks, _tables = load_or_train_networks(
+        scenario.table_config, scenario.network_config
+    )
+    result = check_catalog(networks)
+    for prop in standard_properties():
+        outcome = result.results[prop.name]
+        line = f"{prop.name}: {outcome.outcome.value}"
+        if outcome.witness is not None and args.verbose:
+            line += f"  witness(normalized)={np.round(outcome.witness, 4).tolist()}"
+        print(line)
+    print(
+        f"\n{len(result.verified_names())} verified, "
+        f"{len(result.falsified_names())} falsified "
+        f"(falsified phi-properties localize where the distilled "
+        "networks deviate from the tables)"
+    )
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from .acasxu import build_system, evaluate_controller
+
+    system = build_system(_scenario(args.scenario))
+    stats = evaluate_controller(
+        system,
+        encounters=args.encounters,
+        seed=args.seed,
+        threat_fraction=args.threat_fraction,
+    )
+    print(f"encounters: {stats.encounters} "
+          f"({args.threat_fraction:.0%} collision-course biased)")
+    print(f"NMACs unequipped: {stats.nmacs_without_system}")
+    print(f"NMACs equipped:   {stats.nmacs_with_system}")
+    ratio = stats.risk_ratio
+    print(f"risk ratio: {'n/a' if ratio == float('inf') else f'{ratio:.3f}'}")
+    print(f"alert rate: {stats.alert_rate:.1%}, "
+          f"mean alert duration: {stats.mean_alert_steps:.1f} steps")
+    print(f"mean minimum separation: {stats.mean_min_separation_ft:.0f} ft")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from .acasxu import load_or_train_networks
+    from .acasxu.export import export_bank
+
+    scenario = _scenario(args.scenario)
+    networks, _tables = load_or_train_networks(
+        scenario.table_config, scenario.network_config
+    )
+    paths = export_bank(networks, args.directory)
+    for path in paths:
+        print(path)
+    print(f"\n{len(paths)} networks written in .nnet format")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-nncs",
+        description="Safety verification of neural network controlled systems "
+        "(reproduction of Claviere et al., DSN 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser("train", help="build the tables and network bank")
+    _add_scenario_argument(p_train)
+    p_train.set_defaults(fn=cmd_train)
+
+    p_verify = sub.add_parser("verify", help="run a partition verification")
+    _add_scenario_argument(p_verify)
+    p_verify.add_argument("--arcs", type=int, default=24)
+    p_verify.add_argument("--headings", type=int, default=6)
+    p_verify.add_argument("--depth", type=int, default=2, help="split-refinement depth")
+    p_verify.add_argument("--substeps", type=int, default=10, help="the paper's M")
+    p_verify.add_argument("--gamma", type=int, default=5, help="the paper's Gamma")
+    p_verify.add_argument("--workers", type=int, default=1)
+    p_verify.add_argument("--out", help="write the JSON report here")
+    p_verify.set_defaults(fn=cmd_verify)
+
+    p_show = sub.add_parser("show", help="render a saved JSON report")
+    p_show.add_argument("report")
+    p_show.add_argument("--svg", help="also write the polar map as SVG here")
+    p_show.set_defaults(fn=cmd_show)
+
+    p_falsify = sub.add_parser("falsify", help="search for counterexamples")
+    _add_scenario_argument(p_falsify)
+    p_falsify.add_argument("--population", type=int, default=40)
+    p_falsify.add_argument("--generations", type=int, default=10)
+    p_falsify.add_argument("--seed", type=int, default=0)
+    p_falsify.set_defaults(fn=cmd_falsify)
+
+    p_sim = sub.add_parser("simulate", help="run one concrete encounter")
+    _add_scenario_argument(p_sim)
+    p_sim.add_argument("--bearing", type=float, default=0.0,
+                       help="intruder entry bearing in degrees (0 = ahead)")
+    p_sim.add_argument("--heading-offset", type=float, default=0.0,
+                       help="offset from directly-inward heading, degrees")
+    p_sim.set_defaults(fn=cmd_simulate)
+
+    p_fig7 = sub.add_parser("fig7", help="substep-tightness ablation")
+    _add_scenario_argument(p_fig7)
+    p_fig7.set_defaults(fn=cmd_fig7)
+
+    p_props = sub.add_parser(
+        "props", help="check the phi-style property catalog on the bank"
+    )
+    _add_scenario_argument(p_props)
+    p_props.add_argument("--verbose", action="store_true")
+    p_props.set_defaults(fn=cmd_props)
+
+    p_eval = sub.add_parser(
+        "evaluate", help="Monte-Carlo operational evaluation (risk ratio)"
+    )
+    _add_scenario_argument(p_eval)
+    p_eval.add_argument("--encounters", type=int, default=200)
+    p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.add_argument("--threat-fraction", type=float, default=0.5)
+    p_eval.set_defaults(fn=cmd_evaluate)
+
+    p_export = sub.add_parser(
+        "export", help="write the trained bank as .nnet files"
+    )
+    _add_scenario_argument(p_export)
+    p_export.add_argument("directory")
+    p_export.set_defaults(fn=cmd_export)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

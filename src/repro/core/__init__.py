@@ -1,0 +1,63 @@
+"""The paper's contribution: symbolic states, the closed-loop system
+model, the reachability procedure (Algorithms 1-3), partitioning with
+split refinement, the parallel runner, and runtime monitoring."""
+
+from .checkpoint import load_journal, verify_partition_checkpointed
+from .compose import StateView, SynchronousProductController
+from .monitor import MonitorAdvice, RuntimeMonitor, SwitchingController
+from .partition import RefinementPolicy, grid_partition
+from .reach import (
+    ReachResult,
+    ReachSettings,
+    TubeSegment,
+    Verdict,
+    reach,
+    reach_from_box,
+)
+from .result import CellResult, VerificationReport
+from .runner import RunnerSettings, verify_cell, verify_partition
+from .symbolic import SymbolicSet, SymbolicState, resize
+from .system import (
+    ArgmaxPost,
+    ArgminPost,
+    ClosedLoopSystem,
+    CommandSet,
+    Controller,
+    FunctionPre,
+    IdentityPre,
+    Plant,
+)
+
+__all__ = [
+    "ArgmaxPost",
+    "ArgminPost",
+    "CellResult",
+    "ClosedLoopSystem",
+    "CommandSet",
+    "Controller",
+    "FunctionPre",
+    "IdentityPre",
+    "MonitorAdvice",
+    "Plant",
+    "ReachResult",
+    "ReachSettings",
+    "RefinementPolicy",
+    "RunnerSettings",
+    "RuntimeMonitor",
+    "StateView",
+    "SwitchingController",
+    "SynchronousProductController",
+    "SymbolicSet",
+    "SymbolicState",
+    "TubeSegment",
+    "Verdict",
+    "VerificationReport",
+    "grid_partition",
+    "load_journal",
+    "reach",
+    "reach_from_box",
+    "resize",
+    "verify_cell",
+    "verify_partition",
+    "verify_partition_checkpointed",
+]

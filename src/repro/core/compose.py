@@ -1,0 +1,140 @@
+"""Composition of several controllers over one plant (Section 8).
+
+The paper sketches the multi-agent extension: "the plant could capture
+the dynamics of the multiple agents ... and be combined with several
+controllers", all executing in the same control interval. This module
+provides the generic construction: a
+:class:`SynchronousProductController` runs ``N`` sub-controllers, each
+on its own *view* of the shared plant state, and exposes the product
+command set — concrete and abstract semantics alike — in the controller
+interface the reachability core consumes.
+
+:mod:`repro.acasxu.multi_uav` is the hand-specialized two-aircraft
+instance; this is the N-ary general form.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..intervals import Box
+from .system import CommandSet
+
+#: Maps the shared plant state to one controller's view of it.
+ConcreteView = Callable[[np.ndarray], np.ndarray]
+#: Sound box version of the same view.
+AbstractView = Callable[[Box], Box]
+
+
+class StateView:
+    """A (concrete, abstract) view pair; identity by default."""
+
+    def __init__(
+        self,
+        concrete: ConcreteView | None = None,
+        abstract: AbstractView | None = None,
+    ):
+        self._concrete = concrete or (lambda s: np.asarray(s, dtype=float))
+        self._abstract = abstract or (lambda box: box)
+
+    def concrete(self, state: np.ndarray) -> np.ndarray:
+        return self._concrete(state)
+
+    def abstract(self, box: Box) -> Box:
+        return self._abstract(box)
+
+
+class SynchronousProductController:
+    """N controllers sharing the plant, joint command set ``U_1 x ... x U_N``.
+
+    ``controllers`` must implement the controller interface
+    (``execute``, ``execute_abstract``, ``commands``); ``views`` give
+    each its perspective on the shared state. Joint commands are
+    indexed in mixed radix with the *last* controller fastest (matching
+    ``itertools.product`` order).
+
+    Remark 3 consequence: the joint command count is the product of the
+    members', so ``Gamma`` must be at least that product.
+    """
+
+    def __init__(
+        self,
+        controllers: Sequence,
+        views: Sequence[StateView] | None = None,
+        command_names: Sequence[str] | None = None,
+    ):
+        if not controllers:
+            raise ValueError("need at least one controller")
+        self.controllers = list(controllers)
+        if views is None:
+            views = [StateView() for _ in controllers]
+        if len(views) != len(controllers):
+            raise ValueError("one view per controller required")
+        self.views = list(views)
+        self._sizes = [len(c.commands) for c in self.controllers]
+
+        values = []
+        names = []
+        for combo in itertools.product(*(range(n) for n in self._sizes)):
+            parts = [
+                self.controllers[i].commands.value(local)
+                for i, local in enumerate(combo)
+            ]
+            values.append(np.concatenate(parts))
+            names.append(
+                "/".join(
+                    self.controllers[i].commands.name(local)
+                    for i, local in enumerate(combo)
+                )
+            )
+        if command_names is not None:
+            if len(command_names) != len(names):
+                raise ValueError("one name per joint command required")
+            names = list(command_names)
+        self.commands = CommandSet(np.array(values), names=names)
+
+    # ------------------------------------------------------------------
+    # Joint-index arithmetic (mixed radix, last controller fastest)
+    # ------------------------------------------------------------------
+    def split_index(self, joint: int) -> list[int]:
+        locals_reversed = []
+        for size in reversed(self._sizes):
+            locals_reversed.append(joint % size)
+            joint //= size
+        return list(reversed(locals_reversed))
+
+    def join_index(self, locals_: Sequence[int]) -> int:
+        joint = 0
+        for size, local in zip(self._sizes, locals_):
+            if not 0 <= local < size:
+                raise ValueError(f"local command {local} out of range {size}")
+            joint = joint * size + local
+        return joint
+
+    # ------------------------------------------------------------------
+    # Controller interface
+    # ------------------------------------------------------------------
+    def execute(self, state: np.ndarray, previous_command: int) -> int:
+        previous_locals = self.split_index(previous_command)
+        next_locals = [
+            controller.execute(view.concrete(np.asarray(state, dtype=float)), prev)
+            for controller, view, prev in zip(
+                self.controllers, self.views, previous_locals
+            )
+        ]
+        return self.join_index(next_locals)
+
+    def execute_abstract(self, box: Box, previous_command: int) -> list[int]:
+        previous_locals = self.split_index(previous_command)
+        member_sets = [
+            controller.execute_abstract(view.abstract(box), prev)
+            for controller, view, prev in zip(
+                self.controllers, self.views, previous_locals
+            )
+        ]
+        return [
+            self.join_index(combo) for combo in itertools.product(*member_sets)
+        ]

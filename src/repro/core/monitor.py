@@ -1,0 +1,104 @@
+"""Runtime monitoring on top of an offline verification map.
+
+Section 7.2 suggests the practical use of a partial safety proof:
+"design a real-time monitoring mechanism that switches to a more robust
+controller if the system encounters an initial state for which it was
+not proved safe". :class:`RuntimeMonitor` looks up the offline
+:class:`~repro.core.result.VerificationReport`;
+:class:`SwitchingController` wires the lookup to a fallback controller.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+import numpy as np
+
+from .result import VerificationReport
+from .system import Controller
+
+
+class MonitorAdvice(enum.Enum):
+    """What the offline proof says about an encountered initial state."""
+
+    #: The state lies in a cell proved safe: keep the primary controller.
+    VERIFIED = "verified"
+    #: The state lies in a cell that could not be proved: fall back.
+    UNPROVED = "unproved"
+    #: The state is outside the verified map entirely: fall back.
+    UNCOVERED = "uncovered"
+
+
+class RuntimeMonitor:
+    """Looks up concrete initial states in the offline verification map.
+
+    ``state_mapper`` optionally transforms the runtime plant state into
+    the coordinates the partition was expressed in (identity default).
+    """
+
+    def __init__(
+        self,
+        report: VerificationReport,
+        state_mapper: Callable[[np.ndarray], np.ndarray] | None = None,
+    ):
+        self.report = report
+        self.state_mapper = state_mapper or (lambda s: s)
+
+    def advise(self, state: np.ndarray, command: int) -> MonitorAdvice:
+        mapped = np.asarray(self.state_mapper(np.asarray(state, dtype=float)))
+        leaf = self.report.lookup(mapped, command)
+        if leaf is None:
+            return MonitorAdvice.UNCOVERED
+        if leaf.proved:
+            return MonitorAdvice.VERIFIED
+        return MonitorAdvice.UNPROVED
+
+
+class SwitchingController:
+    """Primary controller guarded by the monitor, with a fallback.
+
+    The switch decision is made once, on the first control step (the
+    offline map covers *initial* states); afterwards the selected
+    controller runs the episode. ``fallback`` may be any object with the
+    controller's ``execute(state, previous_command)`` interface — e.g.
+    the lookup-table controller the networks were distilled from.
+    """
+
+    def __init__(
+        self,
+        primary: Controller,
+        fallback,
+        monitor: RuntimeMonitor,
+    ):
+        self.primary = primary
+        self.fallback = fallback
+        self.monitor = monitor
+        self._active = None
+        self.last_advice: MonitorAdvice | None = None
+
+    def reset(self) -> None:
+        """Forget the episode's switch decision."""
+        self._active = None
+        self.last_advice = None
+
+    def execute(self, state: np.ndarray, previous_command: int) -> int:
+        if self._active is None:
+            self.last_advice = self.monitor.advise(state, previous_command)
+            self._active = (
+                self.primary
+                if self.last_advice is MonitorAdvice.VERIFIED
+                else self.fallback
+            )
+        return self._active.execute(state, previous_command)
+
+    @property
+    def using_fallback(self) -> bool:
+        return self._active is not None and self._active is self.fallback
+
+    @property
+    def commands(self):
+        """The command set (delegated to the primary controller), so a
+        switching controller can stand in for a plain one inside a
+        :class:`~repro.core.system.ClosedLoopSystem`."""
+        return self.primary.commands

@@ -1,0 +1,92 @@
+"""Initial-set partitioning and split refinement (Section 7.1).
+
+The paper partitions the possible initial states into many small boxes
+— both to keep each reachability run precise (Lipschitz continuity
+means smaller boxes stay smaller) and to parallelize. When a cell
+cannot be proved safe it is *split-refined*: bisected along the
+uncertain dimensions (``2**len(dims)`` children, depth capped), and the
+children are retried.
+
+The ``influence`` policy implements the Section 8 future-work idea:
+split only along the single most influential dimension instead of all
+of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..intervals import Box
+
+
+def grid_partition(box: Box, counts: Sequence[int]) -> list[Box]:
+    """Split ``box`` into a uniform grid, ``counts[i]`` cells per axis."""
+    if len(counts) != box.dim:
+        raise ValueError("one count per dimension required")
+    if any(c < 1 for c in counts):
+        raise ValueError("counts must be positive")
+    edges = [np.linspace(box.lo[i], box.hi[i], counts[i] + 1) for i in range(box.dim)]
+    cells: list[Box] = []
+    index = np.zeros(box.dim, dtype=int)
+    total = int(np.prod(counts))
+    for flat in range(total):
+        rem = flat
+        for d in range(box.dim - 1, -1, -1):
+            index[d] = rem % counts[d]
+            rem //= counts[d]
+        lo = np.array([edges[d][index[d]] for d in range(box.dim)])
+        hi = np.array([edges[d][index[d] + 1] for d in range(box.dim)])
+        cells.append(Box(lo, hi))
+    return cells
+
+
+@dataclass(frozen=True)
+class RefinementPolicy:
+    """How to split a cell that could not be proved safe.
+
+    * ``mode="bisect_all"`` — the paper's scheme: bisect along every
+      dimension in ``dims`` (``2**len(dims)`` children);
+    * ``mode="influence"`` — bisect along the single dimension in
+      ``dims`` with the highest ``influence * width`` score (2
+      children); ``influence_fn`` maps a box to per-dimension scores
+      and defaults to uniform (i.e. widest-dimension splitting).
+    """
+
+    dims: tuple[int, ...]
+    max_depth: int = 2
+    mode: str = "bisect_all"
+    influence_fn: Callable[[Box], np.ndarray] | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("bisect_all", "influence"):
+            raise ValueError("mode must be 'bisect_all' or 'influence'")
+        if not self.dims:
+            raise ValueError("at least one refinement dimension required")
+        if self.max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+
+    def children(self, box: Box) -> list[Box]:
+        """The child boxes of one refinement step."""
+        if self.mode == "bisect_all":
+            return box.bisect_all(list(self.dims))
+        scores = self._scores(box)
+        weighted = scores * box.widths
+        best = max(self.dims, key=lambda d: weighted[d])
+        return list(box.bisect(best))
+
+    def branching(self) -> int:
+        """Number of children per refinement (the paper's ``2**3``)."""
+        if self.mode == "bisect_all":
+            return 2 ** len(self.dims)
+        return 2
+
+    def _scores(self, box: Box) -> np.ndarray:
+        if self.influence_fn is None:
+            return np.ones(box.dim)
+        scores = np.asarray(self.influence_fn(box), dtype=float)
+        if scores.shape != (box.dim,):
+            raise ValueError("influence_fn must return one score per dimension")
+        return scores

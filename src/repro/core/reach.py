@@ -1,0 +1,225 @@
+"""The reachability procedure (Section 6.3, Algorithms 1 and 3).
+
+Starting from a symbolic set enclosing the initial states, the
+procedure alternates, for each control step ``j``:
+
+1. **Plant over-approximation** (Algorithm 1 / SIMULATE): validated
+   simulation of the flow over ``[jT, (j+1)T]`` in ``M`` substeps,
+   yielding the over-the-period tube ``[s_[j[]`` and the endpoint box
+   ``[s_{j+1}]``;
+2. **Controller over-approximation**: ``Pre#`` then ``F#`` of the
+   network selected by ``λ(u_j)`` then ``Post#``, yielding the set of
+   reachable next commands;
+
+with the RESIZE join heuristic (Algorithm 2) bounding the number of
+symbolic states by ``Γ``, and the termination mechanism that stops
+propagating symbolic states wholly inside the target set ``T``.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+from ..intervals import Box
+from ..sets import resolve_for_command
+from .symbolic import SymbolicSet, SymbolicState, resize
+from .system import ClosedLoopSystem
+
+
+class Verdict(enum.Enum):
+    """Outcome of a reachability run (Algorithm 3's return value,
+    refined into three cases)."""
+
+    #: No reachable state meets E and the loop provably terminated:
+    #: Algorithm 3 returns True.
+    PROVED_SAFE = "proved-safe"
+    #: No reachable state meets E within the horizon, but termination
+    #: could not be established (hasTerminated is False).
+    SAFE_WITHIN_HORIZON = "safe-within-horizon"
+    #: Some over-approximate state meets E: the proof attempt fails
+    #: (the system may still be safe — the approximation was too loose).
+    POSSIBLY_UNSAFE = "possibly-unsafe"
+
+
+@dataclass(frozen=True)
+class ReachSettings:
+    """Tuning of the procedure: the paper's ``M`` and ``Γ`` plus
+    bookkeeping switches."""
+
+    #: Number of validated-integration substeps per control period
+    #: (Section 6.4 "improving precision", Fig. 7).
+    substeps: int = 10
+    #: Threshold Γ on the number of symbolic states per step
+    #: (Section 6.4 "improving time complexity", Algorithm 2).
+    max_symbolic_states: int = 5
+    #: Stop at the first possible E-intersection (cheaper) or keep
+    #: going to map every unsafe step (diagnostics).
+    early_exit_on_unsafe: bool = True
+    #: Record the per-step symbolic sets and flow tubes in the result.
+    record_sets: bool = False
+
+    def __post_init__(self) -> None:
+        if self.substeps < 1:
+            raise ValueError("substeps (M) must be >= 1")
+        if self.max_symbolic_states < 1:
+            raise ValueError("max_symbolic_states (Γ) must be >= 1")
+
+
+@dataclass
+class TubeSegment:
+    """One recorded piece of ``R_[j[``: a time window, box and command."""
+
+    t_start: float
+    t_end: float
+    box: Box
+    command: int
+
+
+@dataclass
+class ReachResult:
+    """Everything Algorithm 3 produces, plus diagnostics."""
+
+    verdict: Verdict
+    has_terminated: bool
+    termination_step: int | None
+    steps_completed: int
+    joins_performed: int = 0
+    integrations: int = 0
+    controller_evaluations: int = 0
+    elapsed_seconds: float = 0.0
+    #: First time window possibly meeting E (None when safe).
+    unsafe_time: float | None = None
+    unsafe_command: int | None = None
+    #: Recorded per-step symbolic sets R_0 .. R_jend (record_sets only).
+    step_sets: list[SymbolicSet] = field(default_factory=list)
+    #: Recorded flow-tube segments (record_sets only).
+    tube: list[TubeSegment] = field(default_factory=list)
+
+    @property
+    def proved_safe(self) -> bool:
+        """Algorithm 3 line 31: safe until termination."""
+        return self.verdict is Verdict.PROVED_SAFE
+
+    @property
+    def no_error_reached(self) -> bool:
+        return self.verdict is not Verdict.POSSIBLY_UNSAFE
+
+
+def reach(
+    system: ClosedLoopSystem,
+    initial: SymbolicSet,
+    settings: ReachSettings | None = None,
+) -> ReachResult:
+    """Run Algorithm 3 from the initial symbolic set ``R_0 ⊇ I``."""
+    settings = settings or ReachSettings()
+    num_commands = len(system.commands)
+    if settings.max_symbolic_states < num_commands:
+        raise ValueError(
+            f"Γ = {settings.max_symbolic_states} must be at least the number "
+            f"of commands P = {num_commands} (Remark 3)"
+        )
+    if len(initial) == 0:
+        raise ValueError("the initial symbolic set is empty")
+
+    started = time.perf_counter()
+    result = ReachResult(
+        verdict=Verdict.SAFE_WITHIN_HORIZON,
+        has_terminated=False,
+        termination_step=None,
+        steps_completed=0,
+    )
+
+    current = initial.copy()
+    period = system.period
+    target = system.target
+    erroneous = system.erroneous
+    unsafe_found = False
+
+    if settings.record_sets:
+        result.step_sets.append(current.copy())
+
+    for j in range(system.horizon_steps):
+        result.joins_performed += resize(current, settings.max_symbolic_states)
+
+        # E and T may be command-dependent (subsets of R^l x U,
+        # Section 4.1): resolve them against each state's concrete
+        # command (exact, since symbolic states carry commands).
+        active = [
+            s
+            for s in current
+            if not resolve_for_command(target, s.command).contains_box(s.box)
+        ]
+        if not active:
+            result.has_terminated = True
+            result.termination_step = j
+            break
+
+        next_set = SymbolicSet()
+        for state in active:
+            erroneous_now = resolve_for_command(erroneous, state.command)
+            command_value = system.commands.value(state.command)
+            pipe = system.plant.flow(
+                j * period,
+                (j + 1) * period,
+                state.box,
+                command_value,
+                settings.substeps,
+            )
+            result.integrations += len(pipe.steps)
+            for step in pipe.steps:
+                if settings.record_sets:
+                    result.tube.append(
+                        TubeSegment(step.t_start, step.t_end, step.range_box, state.command)
+                    )
+                if not erroneous_now.disjoint_box(step.range_box):
+                    unsafe_found = True
+                    if result.unsafe_time is None:
+                        result.unsafe_time = step.t_start
+                        result.unsafe_command = state.command
+                    if settings.early_exit_on_unsafe:
+                        result.verdict = Verdict.POSSIBLY_UNSAFE
+                        result.steps_completed = j
+                        result.elapsed_seconds = time.perf_counter() - started
+                        return result
+
+            next_commands = system.controller.execute_abstract(state.box, state.command)
+            result.controller_evaluations += 1
+            end_box = pipe.end_box
+            for command in next_commands:
+                next_set.add(SymbolicState(end_box, command))
+
+        current = next_set
+        result.steps_completed = j + 1
+        if settings.record_sets:
+            result.step_sets.append(current.copy())
+
+        # Algorithm 3 line 23: all fresh states inside T => terminated.
+        if all(
+            resolve_for_command(target, s.command).contains_box(s.box)
+            for s in current
+        ):
+            result.has_terminated = True
+            result.termination_step = j + 1
+            break
+
+    if unsafe_found:
+        result.verdict = Verdict.POSSIBLY_UNSAFE
+    elif result.has_terminated:
+        result.verdict = Verdict.PROVED_SAFE
+    else:
+        result.verdict = Verdict.SAFE_WITHIN_HORIZON
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def reach_from_box(
+    system: ClosedLoopSystem,
+    initial_box: Box,
+    initial_command: int,
+    settings: ReachSettings | None = None,
+) -> ReachResult:
+    """Convenience wrapper: run :func:`reach` from one symbolic state."""
+    initial = SymbolicSet([SymbolicState(initial_box, initial_command)])
+    return reach(system, initial, settings)

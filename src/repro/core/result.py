@@ -1,0 +1,208 @@
+"""Verification results, the coverage metric, and report serialization.
+
+The coverage formula is the paper's (Section 7.2):
+
+    c = 100 / K0 * sum_d n_d / B**d
+
+where ``K0`` is the number of top-level cells, ``n_d`` the number of
+cells proved safe after ``d`` refinements and ``B`` the refinement
+branching factor (``2**3`` for the paper's x0/y0/psi0 bisection). The
+recursive ``coverage_fraction`` below evaluates the same quantity cell
+by cell, and also handles mixed branching factors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..intervals import Box
+from .reach import Verdict
+
+
+@dataclass
+class CellResult:
+    """Verification outcome for one initial cell (possibly refined)."""
+
+    cell_id: str
+    box: Box
+    command: int
+    verdict: Verdict
+    depth: int = 0
+    elapsed_seconds: float = 0.0
+    steps_completed: int = 0
+    joins_performed: int = 0
+    integrations: int = 0
+    children: list["CellResult"] = field(default_factory=list)
+    #: Free-form labels (e.g. the arc index of the ACAS partition).
+    tags: dict = field(default_factory=dict)
+
+    @property
+    def proved(self) -> bool:
+        return self.verdict is Verdict.PROVED_SAFE
+
+    def coverage_fraction(self) -> float:
+        """Fraction of this cell's volume proved safe, per the paper's
+        weighting (each refinement level divides the weight by the
+        branching factor)."""
+        if self.proved:
+            return 1.0
+        if not self.children:
+            return 0.0
+        return sum(c.coverage_fraction() for c in self.children) / len(self.children)
+
+    def total_elapsed(self) -> float:
+        """This cell's time including every refinement descendant."""
+        return self.elapsed_seconds + sum(c.total_elapsed() for c in self.children)
+
+    def count_by_depth(self, counts: dict[int, int] | None = None) -> dict[int, int]:
+        """``n_d``: proved cells per refinement depth (paper formula)."""
+        counts = counts if counts is not None else {}
+        if self.proved:
+            counts[self.depth] = counts.get(self.depth, 0) + 1
+        for child in self.children:
+            child.count_by_depth(counts)
+        return counts
+
+    def leaves(self) -> list["CellResult"]:
+        """Unrefined descendants (the final verdict map, Fig. 9a)."""
+        if not self.children:
+            return [self]
+        out: list[CellResult] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "cell_id": self.cell_id,
+            "lo": self.box.lo.tolist(),
+            "hi": self.box.hi.tolist(),
+            "command": self.command,
+            "verdict": self.verdict.value,
+            "depth": self.depth,
+            "elapsed_seconds": self.elapsed_seconds,
+            "steps_completed": self.steps_completed,
+            "joins_performed": self.joins_performed,
+            "integrations": self.integrations,
+            "tags": self.tags,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "CellResult":
+        return CellResult(
+            cell_id=payload["cell_id"],
+            box=Box(payload["lo"], payload["hi"]),
+            command=payload["command"],
+            verdict=Verdict(payload["verdict"]),
+            depth=payload["depth"],
+            elapsed_seconds=payload["elapsed_seconds"],
+            steps_completed=payload["steps_completed"],
+            joins_performed=payload.get("joins_performed", 0),
+            integrations=payload.get("integrations", 0),
+            tags=payload.get("tags", {}),
+            children=[CellResult.from_dict(c) for c in payload.get("children", [])],
+        )
+
+
+@dataclass
+class VerificationReport:
+    """Aggregated outcome over a whole initial-set partition."""
+
+    cells: list[CellResult] = field(default_factory=list)
+    system_name: str = ""
+    settings_summary: dict = field(default_factory=dict)
+
+    @property
+    def total_cells(self) -> int:
+        return len(self.cells)
+
+    def coverage_percent(self) -> float:
+        """The paper's coverage metric ``c`` (Section 7.2)."""
+        if not self.cells:
+            return 0.0
+        return 100.0 * sum(c.coverage_fraction() for c in self.cells) / len(self.cells)
+
+    def proved_count_by_depth(self) -> dict[int, int]:
+        """``n_d`` aggregated over all cells."""
+        counts: dict[int, int] = {}
+        for cell in self.cells:
+            cell.count_by_depth(counts)
+        return counts
+
+    def total_elapsed(self) -> float:
+        return sum(c.total_elapsed() for c in self.cells)
+
+    def fully_proved_cells(self) -> list[CellResult]:
+        return [c for c in self.cells if c.coverage_fraction() >= 1.0]
+
+    def unproved_leaves(self) -> list[CellResult]:
+        """Leaf regions still unproved (candidates for falsification)."""
+        return [leaf for cell in self.cells for leaf in cell.leaves() if not leaf.proved]
+
+    def lookup(self, point, command: int) -> CellResult | None:
+        """The finest leaf whose box contains ``point`` with matching
+        command (used by the runtime monitor)."""
+        for cell in self.cells:
+            if cell.command == command and cell.box.contains_point(point):
+                node = cell
+                while node.children:
+                    child = next(
+                        (c for c in node.children if c.box.contains_point(point)),
+                        None,
+                    )
+                    if child is None:
+                        break
+                    node = child
+                return node
+        return None
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self, path: str | Path) -> None:
+        payload = {
+            "system_name": self.system_name,
+            "settings": self.settings_summary,
+            "cells": [c.to_dict() for c in self.cells],
+        }
+        with open(path, "w") as out:
+            json.dump(payload, out)
+
+    @staticmethod
+    def from_json(path: str | Path) -> "VerificationReport":
+        with open(path) as handle:
+            payload = json.load(handle)
+        return VerificationReport(
+            cells=[CellResult.from_dict(c) for c in payload["cells"]],
+            system_name=payload.get("system_name", ""),
+            settings_summary=payload.get("settings", {}),
+        )
+
+    def to_csv(self, path: str | Path) -> None:
+        """Flat per-leaf CSV (one row per final verdict region)."""
+        with open(path, "w") as out:
+            out.write("cell_id,depth,command,verdict,elapsed_seconds,")
+            out.write("lo,hi\n")
+            for cell in self.cells:
+                for leaf in cell.leaves():
+                    lo = ";".join(f"{v:.9g}" for v in leaf.box.lo)
+                    hi = ";".join(f"{v:.9g}" for v in leaf.box.hi)
+                    out.write(
+                        f"{leaf.cell_id},{leaf.depth},{leaf.command},"
+                        f"{leaf.verdict.value},{leaf.elapsed_seconds:.6f},"
+                        f"{lo},{hi}\n"
+                    )
+
+    def summary(self) -> str:
+        counts = self.proved_count_by_depth()
+        lines = [
+            f"system: {self.system_name}",
+            f"cells: {self.total_cells}",
+            f"coverage: {self.coverage_percent():.2f}%",
+            f"proved by depth: {dict(sorted(counts.items()))}",
+            f"total time: {self.total_elapsed():.2f}s",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Parallel verification over an initial-set partition (Section 7.1).
+
+The paper observes that the ``K0`` initial cells are independent
+verification problems, so the partition is embarrassingly parallel.
+:func:`verify_partition` distributes cells over worker processes
+(fork-based, so the closed-loop system object does not need to be
+picklable) and applies split refinement to cells that fail.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..intervals import Box
+from .partition import RefinementPolicy
+from .reach import ReachSettings, Verdict, reach_from_box
+from .result import CellResult, VerificationReport
+from .system import ClosedLoopSystem
+
+#: Optional counterexample search invoked on failed cells before
+#: refinement: (system, box, command) -> concrete unsafe initial state,
+#: or None. Section 8 suggests coupling the procedure with an efficient
+#: falsification strategy; a found witness proves the cell genuinely
+#: unsafe, so refining it further would be wasted work.
+WitnessSearch = Callable[[ClosedLoopSystem, Box, int], Optional[np.ndarray]]
+
+
+@dataclass(frozen=True)
+class RunnerSettings:
+    """Per-cell reachability settings plus the refinement policy."""
+
+    reach: ReachSettings = field(default_factory=ReachSettings)
+    refinement: RefinementPolicy | None = None
+    workers: int = 1
+    witness_search: WitnessSearch | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+def verify_cell(
+    system: ClosedLoopSystem,
+    box: Box,
+    command: int,
+    settings: RunnerSettings,
+    cell_id: str = "cell",
+    depth: int = 0,
+) -> CellResult:
+    """Verify one initial cell, split-refining on failure (Section 7.1).
+
+    The refinement recursion matches the paper: a cell that cannot be
+    proved safe is bisected (per the policy) and every child is retried,
+    down to ``max_depth``.
+    """
+    started = time.perf_counter()
+    outcome = reach_from_box(system, box, command, settings.reach)
+    elapsed = time.perf_counter() - started
+    result = CellResult(
+        cell_id=cell_id,
+        box=box,
+        command=command,
+        verdict=outcome.verdict,
+        depth=depth,
+        elapsed_seconds=elapsed,
+        steps_completed=outcome.steps_completed,
+        joins_performed=outcome.joins_performed,
+        integrations=outcome.integrations,
+    )
+    if result.verdict is not Verdict.PROVED_SAFE and settings.witness_search:
+        witness = settings.witness_search(system, box, command)
+        if witness is not None:
+            # A concrete counterexample: the cell is genuinely unsafe,
+            # so split refinement cannot rescue it — skip it (the
+            # falsification coupling of Section 8).
+            result.tags["witness"] = [float(v) for v in np.asarray(witness)]
+            return result
+    policy = settings.refinement
+    if (
+        result.verdict is not Verdict.PROVED_SAFE
+        and policy is not None
+        and depth < policy.max_depth
+    ):
+        for i, child_box in enumerate(policy.children(box)):
+            result.children.append(
+                verify_cell(
+                    system,
+                    child_box,
+                    command,
+                    settings,
+                    cell_id=f"{cell_id}.{i}",
+                    depth=depth + 1,
+                )
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Parallel driver
+# ----------------------------------------------------------------------
+_WORKER_SYSTEM: ClosedLoopSystem | None = None
+_WORKER_SETTINGS: RunnerSettings | None = None
+
+
+def _init_worker(system_factory: Callable[[], ClosedLoopSystem], settings: RunnerSettings) -> None:
+    global _WORKER_SYSTEM, _WORKER_SETTINGS
+    _WORKER_SYSTEM = system_factory()
+    _WORKER_SETTINGS = settings
+
+
+def _run_cell(task: tuple[str, Box, int, dict]) -> CellResult:
+    cell_id, box, command, tags = task
+    assert _WORKER_SYSTEM is not None and _WORKER_SETTINGS is not None
+    result = verify_cell(_WORKER_SYSTEM, box, command, _WORKER_SETTINGS, cell_id)
+    result.tags.update(tags)
+    return result
+
+
+def verify_partition(
+    system_factory: Callable[[], ClosedLoopSystem],
+    cells: Sequence[tuple[Box, int]] | Sequence[tuple[Box, int, dict]],
+    settings: RunnerSettings | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> VerificationReport:
+    """Verify every initial cell of a partition.
+
+    ``cells`` is a sequence of ``(box, command)`` or
+    ``(box, command, tags)`` tuples. ``system_factory`` builds the
+    closed-loop system — called once in serial mode, once per worker in
+    parallel mode (fork start method, so closures are fine).
+    """
+    settings = settings or RunnerSettings()
+    tasks = []
+    for i, cell in enumerate(cells):
+        box, command = cell[0], cell[1]
+        tags = dict(cell[2]) if len(cell) > 2 else {}
+        tasks.append((f"cell-{i}", box, command, tags))
+
+    results: list[CellResult]
+    if settings.workers == 1:
+        system = system_factory()
+        results = []
+        for i, (cell_id, box, command, tags) in enumerate(tasks):
+            result = verify_cell(system, box, command, settings, cell_id)
+            result.tags.update(tags)
+            results.append(result)
+            if progress is not None:
+                progress(i + 1, len(tasks))
+    else:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(
+            processes=settings.workers,
+            initializer=_init_worker,
+            initargs=(system_factory, settings),
+        ) as pool:
+            results = []
+            for i, result in enumerate(pool.imap(_run_cell, tasks)):
+                results.append(result)
+                if progress is not None:
+                    progress(i + 1, len(tasks))
+
+    report = VerificationReport(cells=results)
+    report.settings_summary = {
+        "substeps": settings.reach.substeps,
+        "max_symbolic_states": settings.reach.max_symbolic_states,
+        "refinement_depth": settings.refinement.max_depth if settings.refinement else 0,
+        "workers": settings.workers,
+    }
+    return report

@@ -1,0 +1,136 @@
+"""Symbolic states and symbolic sets (Definitions 7-10 of the paper).
+
+A symbolic state ``([s], u)`` pairs an ``l``-box of plant states with a
+*concrete* actuation command — exploiting that the command set ``U`` is
+finite, which is what lets the procedure keep exact command information
+while abstracting the continuous state. Commands are referenced by
+index into the system's :class:`~repro.core.system.CommandSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..intervals import Box
+
+
+@dataclass(frozen=True)
+class SymbolicState:
+    """Definition 7: a plant-state box plus a concrete command index."""
+
+    box: Box
+    command: int
+
+    def distance_sq(self, other: "SymbolicState") -> float:
+        """Definition 9: squared distance between box centers.
+
+        Only defined between states with equal commands.
+        """
+        if self.command != other.command:
+            raise ValueError(
+                "distance is only defined between states with the same command"
+            )
+        return self.box.center_distance_sq(other.box)
+
+    def join(self, other: "SymbolicState") -> "SymbolicState":
+        """Definition 10: hull of the boxes, same command."""
+        if self.command != other.command:
+            raise ValueError("cannot join states with different commands")
+        return SymbolicState(self.box.hull(other.box), self.command)
+
+    def contains(self, state: np.ndarray, command: int) -> bool:
+        """Concrete membership of ``(state, command)``."""
+        return command == self.command and self.box.contains_point(state)
+
+    def __repr__(self) -> str:
+        return f"SymbolicState(u#{self.command}, {self.box!r})"
+
+
+@dataclass
+class SymbolicSet:
+    """Definition 8: a finite collection of symbolic states."""
+
+    states: list[SymbolicState] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __iter__(self) -> Iterator[SymbolicState]:
+        return iter(self.states)
+
+    def __getitem__(self, index: int) -> SymbolicState:
+        return self.states[index]
+
+    def add(self, state: SymbolicState) -> None:
+        self.states.append(state)
+
+    def extend(self, states: Iterable[SymbolicState]) -> None:
+        self.states.extend(states)
+
+    def commands(self) -> set[int]:
+        """The distinct command indices present."""
+        return {s.command for s in self.states}
+
+    def group_by_command(self) -> dict[int, list[int]]:
+        """Indices of member states, grouped by command (Algorithm 2's
+        clusters G_i)."""
+        groups: dict[int, list[int]] = {}
+        for i, state in enumerate(self.states):
+            groups.setdefault(state.command, []).append(i)
+        return groups
+
+    def contains(self, state: np.ndarray, command: int) -> bool:
+        """Concrete membership of ``(state, command)`` in the union."""
+        return any(s.contains(state, command) for s in self.states)
+
+    def hull_box(self) -> Box:
+        """Hull of all boxes, commands ignored (diagnostics only)."""
+        from ..intervals import hull_of_boxes
+
+        return hull_of_boxes([s.box for s in self.states])
+
+    def copy(self) -> "SymbolicSet":
+        return SymbolicSet(list(self.states))
+
+    def __repr__(self) -> str:
+        return f"SymbolicSet({len(self.states)} states, commands={sorted(self.commands())})"
+
+
+def resize(symbolic_set: SymbolicSet, threshold: int) -> int:
+    """Algorithm 2 (RESIZE): join closest same-command states in place
+    until at most ``threshold`` symbolic states remain.
+
+    Returns the number of joins performed. Requires ``threshold`` to be
+    at least the number of distinct commands present (Remark 3),
+    because states with different commands can never be joined.
+    """
+    distinct = len(symbolic_set.commands())
+    if threshold < distinct:
+        raise ValueError(
+            f"threshold {threshold} below the {distinct} distinct commands "
+            "present; no sequence of joins can reach it (Remark 3)"
+        )
+    joins = 0
+    while len(symbolic_set) > threshold:
+        best: tuple[float, int, int] | None = None
+        groups = symbolic_set.group_by_command()
+        for indices in groups.values():
+            for a in range(len(indices)):
+                state_a = symbolic_set[indices[a]]
+                for b in range(a + 1, len(indices)):
+                    d = state_a.distance_sq(symbolic_set[indices[b]])
+                    if best is None or d < best[0]:
+                        best = (d, indices[a], indices[b])
+        if best is None:  # pragma: no cover - excluded by the threshold check
+            break
+        _, i, j = best
+        joined = symbolic_set[i].join(symbolic_set[j])
+        # Remove the higher index first to keep the lower one valid.
+        del symbolic_set.states[j]
+        del symbolic_set.states[i]
+        symbolic_set.add(joined)
+        joins += 1
+    return joins

@@ -1,0 +1,66 @@
+"""Experiment harness: named configurations, per-figure data
+generators, and ASCII rendering of the paper's evaluation artefacts."""
+
+from .configs import (
+    CONFIGS,
+    LARGE,
+    MEDIUM,
+    PAPER_SCALE,
+    SMALL,
+    SMOKE,
+    ExperimentConfig,
+)
+from .figures import (
+    ArcProfileRow,
+    Headline,
+    SubstepRow,
+    SymmetryCheck,
+    fig7_substep_ablation,
+    fig9a_grid,
+    fig9b_arc_profile,
+    headline,
+    run_experiment,
+    symmetry_check,
+)
+from .report import (
+    render_fig7,
+    render_fig9a,
+    render_fig9b,
+    render_headline,
+    render_report,
+)
+from .svg import (
+    render_fig9a_svg,
+    render_tube_svg,
+    write_fig9a_svg,
+    write_tube_svg,
+)
+
+__all__ = [
+    "ArcProfileRow",
+    "CONFIGS",
+    "ExperimentConfig",
+    "Headline",
+    "LARGE",
+    "MEDIUM",
+    "PAPER_SCALE",
+    "SMALL",
+    "SMOKE",
+    "SubstepRow",
+    "SymmetryCheck",
+    "fig7_substep_ablation",
+    "fig9a_grid",
+    "fig9b_arc_profile",
+    "headline",
+    "render_fig7",
+    "render_fig9a",
+    "render_fig9b",
+    "render_headline",
+    "render_report",
+    "render_fig9a_svg",
+    "render_tube_svg",
+    "run_experiment",
+    "write_fig9a_svg",
+    "write_tube_svg",
+    "symmetry_check",
+]

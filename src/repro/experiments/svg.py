@@ -1,0 +1,222 @@
+"""SVG rendering of the Fig. 9a safety map (dependency-free).
+
+The offline environment has no plotting stack, but the Fig. 9a artefact
+— initial positions on the sensor circle, colored by verdict — is
+simple enough to emit as hand-rolled SVG: one annular sector per
+(arc, heading-averaged) cell, green→red by proved fraction, matching
+the paper's polar presentation (the ribbon of Fig. 8 seen from above).
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from ..core import VerificationReport
+from .figures import fig9a_grid
+
+
+def _color(fraction: float) -> str:
+    """Green (proved) to red (unproved), via amber."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    red = int(round(200 * (1.0 - fraction) + 30 * fraction))
+    green = int(round(40 * (1.0 - fraction) + 160 * fraction))
+    return f"rgb({red},{green},60)"
+
+
+def _sector_path(
+    cx: float, cy: float, r0: float, r1: float, a0: float, a1: float
+) -> str:
+    """SVG path of an annular sector between radii r0<r1, angles a0<a1.
+
+    Screen convention: position angle phi (0 = ahead of ownship) maps
+    to screen coordinates with "ahead" pointing up.
+    """
+
+    def pt(r: float, a: float) -> tuple[float, float]:
+        return (cx + r * -math.sin(a), cy - r * math.cos(a))
+
+    x00, y00 = pt(r0, a0)
+    x01, y01 = pt(r0, a1)
+    x10, y10 = pt(r1, a0)
+    x11, y11 = pt(r1, a1)
+    large = 1 if (a1 - a0) > math.pi else 0
+    return (
+        f"M {x00:.2f} {y00:.2f} "
+        f"A {r0:.2f} {r0:.2f} 0 {large} 0 {x01:.2f} {y01:.2f} "
+        f"L {x11:.2f} {y11:.2f} "
+        f"A {r1:.2f} {r1:.2f} 0 {large} 1 {x10:.2f} {y10:.2f} Z"
+    )
+
+
+def render_fig9a_svg(
+    report: VerificationReport,
+    size: int = 640,
+    inner_radius_fraction: float = 0.62,
+) -> str:
+    """The Fig. 9a polar safety map as an SVG document string.
+
+    One annular sector per (arc, heading) cell: arcs index the angular
+    position on the sensor circle; heading slices stack radially
+    (innermost = most clockwise heading offset).
+    """
+    grid = fig9a_grid(report)
+    if not grid:
+        return "<svg xmlns='http://www.w3.org/2000/svg'/>"
+    arcs = sorted({a for a, _ in grid})
+    headings = sorted({h for _, h in grid})
+    num_arcs = len(arcs)
+    num_headings = len(headings)
+
+    cx = cy = size / 2.0
+    outer = size * 0.46
+    inner = outer * inner_radius_fraction
+    ring = (outer - inner) / num_headings
+
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{size}' height='{size}' "
+        f"viewBox='0 0 {size} {size}'>",
+        f"<rect width='{size}' height='{size}' fill='white'/>",
+        f"<title>Initial states proved safe (green) / not proved (red)</title>",
+    ]
+    arc_span = 2.0 * math.pi / num_arcs
+    for (arc, heading), fraction in sorted(grid.items()):
+        a0 = -math.pi + arc * arc_span
+        a1 = a0 + arc_span
+        r0 = inner + headings.index(heading) * ring
+        r1 = r0 + ring
+        path = _sector_path(cx, cy, r0, r1, a0, a1)
+        parts.append(
+            f"<path d='{path}' fill='{_color(fraction)}' "
+            f"stroke='white' stroke-width='0.6'>"
+            f"<title>arc {arc}, heading {heading}: "
+            f"{100 * fraction:.0f}% proved</title></path>"
+        )
+    # The ownship marker and a heading tick ("ahead" = up).
+    parts.append(
+        f"<circle cx='{cx}' cy='{cy}' r='{size * 0.012:.1f}' fill='black'/>"
+    )
+    parts.append(
+        f"<line x1='{cx}' y1='{cy}' x2='{cx}' y2='{cy - inner * 0.5:.1f}' "
+        "stroke='black' stroke-width='2'/>"
+    )
+    parts.append(
+        f"<text x='{cx}' y='{cy - inner * 0.55:.1f}' font-size='{size * 0.03:.0f}' "
+        "text-anchor='middle' font-family='sans-serif'>ahead</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_fig9a_svg(report: VerificationReport, path: str | Path, **kwargs) -> None:
+    """Write :func:`render_fig9a_svg` output to a file."""
+    Path(path).write_text(render_fig9a_svg(report, **kwargs))
+
+
+# ----------------------------------------------------------------------
+# Flow-tube rendering (the Fig. 1-style trajectory picture)
+# ----------------------------------------------------------------------
+def render_tube_svg(
+    result,
+    dims: tuple[int, int] = (0, 1),
+    size: int = 640,
+    hazard_radius: float | None = None,
+    sensor_radius: float | None = None,
+    command_names: list[str] | None = None,
+) -> str:
+    """Render a recorded reach run's flow tube as SVG.
+
+    ``result`` is a :class:`~repro.core.reach.ReachResult` produced with
+    ``record_sets=True``; each tube segment becomes a translucent
+    rectangle over the projection ``dims`` (default: the (x, y)
+    encounter plane), colored by command. Optional circles draw the
+    hazard set (ACAS collision disc) and the sensor range.
+    """
+    segments = getattr(result, "tube", [])
+    if not segments:
+        return "<svg xmlns='http://www.w3.org/2000/svg'/>"
+
+    dx, dy = dims
+    xs_lo = [seg.box.lo[dx] for seg in segments]
+    xs_hi = [seg.box.hi[dx] for seg in segments]
+    ys_lo = [seg.box.lo[dy] for seg in segments]
+    ys_hi = [seg.box.hi[dy] for seg in segments]
+    lo_x, hi_x = min(xs_lo), max(xs_hi)
+    lo_y, hi_y = min(ys_lo), max(ys_hi)
+    for r in (hazard_radius, sensor_radius):
+        if r is not None:
+            lo_x, hi_x = min(lo_x, -r), max(hi_x, r)
+            lo_y, hi_y = min(lo_y, -r), max(hi_y, r)
+    pad = 0.05 * max(hi_x - lo_x, hi_y - lo_y, 1e-9)
+    lo_x, hi_x = lo_x - pad, hi_x + pad
+    lo_y, hi_y = lo_y - pad, hi_y + pad
+    span = max(hi_x - lo_x, hi_y - lo_y)
+    scale = size / span
+
+    def sx(value: float) -> float:
+        return (value - lo_x) * scale
+
+    def sy(value: float) -> float:
+        return size - (value - lo_y) * scale  # y up
+
+    palette = ["#3366cc", "#2e9949", "#cc7a29", "#8e44ad", "#c0392b",
+               "#148f77", "#7f8c8d"]
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{size}' height='{size}' "
+        f"viewBox='0 0 {size} {size}'>",
+        f"<rect width='{size}' height='{size}' fill='white'/>",
+    ]
+    if sensor_radius is not None:
+        parts.append(
+            f"<circle cx='{sx(0):.1f}' cy='{sy(0):.1f}' "
+            f"r='{sensor_radius * scale:.1f}' fill='none' "
+            "stroke='#999999' stroke-dasharray='6 4'/>"
+        )
+    if hazard_radius is not None:
+        parts.append(
+            f"<circle cx='{sx(0):.1f}' cy='{sy(0):.1f}' "
+            f"r='{hazard_radius * scale:.1f}' fill='#cc2929' "
+            "fill-opacity='0.25' stroke='#cc2929'/>"
+        )
+    seen_commands = []
+    for seg in segments:
+        color = palette[seg.command % len(palette)]
+        if seg.command not in seen_commands:
+            seen_commands.append(seg.command)
+        x0, x1 = sx(seg.box.lo[dx]), sx(seg.box.hi[dx])
+        y0, y1 = sy(seg.box.hi[dy]), sy(seg.box.lo[dy])
+        name = (
+            command_names[seg.command]
+            if command_names is not None
+            else f"u{seg.command}"
+        )
+        parts.append(
+            f"<rect x='{x0:.1f}' y='{y0:.1f}' width='{max(x1 - x0, 0.5):.1f}' "
+            f"height='{max(y1 - y0, 0.5):.1f}' fill='{color}' "
+            f"fill-opacity='0.18' stroke='{color}' stroke-opacity='0.5' "
+            f"stroke-width='0.5'>"
+            f"<title>t in [{seg.t_start:.2f}, {seg.t_end:.2f}]s, {name}</title>"
+            "</rect>"
+        )
+    # Legend.
+    for i, command in enumerate(seen_commands):
+        color = palette[command % len(palette)]
+        name = (
+            command_names[command] if command_names is not None else f"u{command}"
+        )
+        y = 18 + 16 * i
+        parts.append(
+            f"<rect x='10' y='{y - 9}' width='12' height='12' fill='{color}' "
+            "fill-opacity='0.5'/>"
+        )
+        parts.append(
+            f"<text x='26' y='{y}' font-size='12' "
+            f"font-family='sans-serif'>{name}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_tube_svg(result, path: str | Path, **kwargs) -> None:
+    """Write :func:`render_tube_svg` output to a file."""
+    Path(path).write_text(render_tube_svg(result, **kwargs))

@@ -1,0 +1,296 @@
+"""Scalar interval arithmetic with outward rounding.
+
+An :class:`Interval` is a closed, non-empty interval ``[lo, hi]`` of
+reals (``lo <= hi``, infinite endpoints allowed). All arithmetic is
+*sound*: the result interval contains every real result obtainable from
+real operands inside the operand intervals, including floating-point
+rounding slack (see :mod:`repro.intervals.rounding`).
+
+This module is the bedrock of the whole verifier: the validated ODE
+integrator, the abstract transformers for the controller, and the
+symbolic-state machinery are all built on it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Union
+
+from .rounding import down, up
+
+Number = Union[int, float]
+
+
+class EmptyIntersectionError(ValueError):
+    """Raised when intersecting two disjoint intervals."""
+
+
+class Interval:
+    """A closed interval ``[lo, hi]`` with sound floating-point bounds."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Number, hi: Number | None = None):
+        if hi is None:
+            hi = lo
+        lo = float(lo)
+        hi = float(hi)
+        if math.isnan(lo) or math.isnan(hi):
+            raise ValueError("interval endpoints must not be NaN")
+        if lo > hi:
+            raise ValueError(f"invalid interval: lo={lo} > hi={hi}")
+        self.lo = lo
+        self.hi = hi
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def point(x: Number) -> "Interval":
+        """Degenerate interval ``[x, x]``."""
+        return Interval(x, x)
+
+    @staticmethod
+    def entire() -> "Interval":
+        """The whole real line ``[-inf, inf]``."""
+        return Interval(-math.inf, math.inf)
+
+    @staticmethod
+    def hull_of(values: Iterable[Number]) -> "Interval":
+        """Smallest interval containing all ``values`` (non-empty)."""
+        values = list(values)
+        if not values:
+            raise ValueError("hull_of requires at least one value")
+        return Interval(min(values), max(values))
+
+    @staticmethod
+    def coerce(x: "Interval | Number") -> "Interval":
+        """Return ``x`` as an interval (points become degenerate)."""
+        if isinstance(x, Interval):
+            return x
+        return Interval(float(x), float(x))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        """Diameter ``hi - lo`` (rounded up)."""
+        return up(self.hi - self.lo)
+
+    @property
+    def mid(self) -> float:
+        """A float close to the midpoint, guaranteed inside the interval."""
+        if math.isinf(self.lo) or math.isinf(self.hi):
+            if math.isinf(self.lo) and math.isinf(self.hi):
+                return 0.0
+            return self.lo if math.isinf(self.hi) else self.hi
+        m = 0.5 * (self.lo + self.hi)
+        return min(max(m, self.lo), self.hi)
+
+    @property
+    def rad(self) -> float:
+        """Radius (half-width, rounded up)."""
+        return up(0.5 * self.width)
+
+    @property
+    def mag(self) -> float:
+        """Magnitude: ``max(|lo|, |hi|)``."""
+        return max(abs(self.lo), abs(self.hi))
+
+    @property
+    def mig(self) -> float:
+        """Mignitude: ``min |x|`` over the interval."""
+        if self.lo > 0.0:
+            return self.lo
+        if self.hi < 0.0:
+            return -self.hi
+        return 0.0
+
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def is_finite(self) -> bool:
+        return math.isfinite(self.lo) and math.isfinite(self.hi)
+
+    def contains(self, x: "Interval | Number") -> bool:
+        """True if ``x`` (point or interval) lies inside ``self``."""
+        other = Interval.coerce(x)
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def strictly_contains(self, other: "Interval") -> bool:
+        """True if ``other`` is in the interior of ``self``."""
+        return self.lo < other.lo and other.hi < self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def __contains__(self, x: "Interval | Number") -> bool:
+        return self.contains(x)
+
+    # ------------------------------------------------------------------
+    # Lattice operations
+    # ------------------------------------------------------------------
+    def hull(self, other: "Interval") -> "Interval":
+        """Join: smallest interval containing both operands."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Meet. Raises :class:`EmptyIntersectionError` if disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            raise EmptyIntersectionError(f"{self} and {other} are disjoint")
+        return Interval(lo, hi)
+
+    def inflate(self, delta: float) -> "Interval":
+        """Widen by an absolute margin ``delta >= 0`` on both sides."""
+        if delta < 0:
+            raise ValueError("inflation margin must be non-negative")
+        return Interval(down(self.lo - delta), up(self.hi + delta))
+
+    def widen_relative(self, factor: float, abs_floor: float = 0.0) -> "Interval":
+        """Widen by ``factor`` of the radius plus an absolute floor.
+
+        Used for the Picard-iteration inflation strategy in the
+        validated integrator.
+        """
+        delta = factor * self.rad + abs_floor
+        return self.inflate(delta)
+
+    def split(self) -> tuple["Interval", "Interval"]:
+        """Bisect at the midpoint."""
+        m = self.mid
+        return Interval(self.lo, m), Interval(m, self.hi)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (all outward rounded)
+    # ------------------------------------------------------------------
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __pos__(self) -> "Interval":
+        return self
+
+    def __add__(self, other: "Interval | Number") -> "Interval":
+        o = Interval.coerce(other)
+        return Interval(down(self.lo + o.lo), up(self.hi + o.hi))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Interval | Number") -> "Interval":
+        o = Interval.coerce(other)
+        return Interval(down(self.lo - o.hi), up(self.hi - o.lo))
+
+    def __rsub__(self, other: Number) -> "Interval":
+        return Interval.coerce(other) - self
+
+    def __mul__(self, other: "Interval | Number") -> "Interval":
+        o = Interval.coerce(other)
+        products = (
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        )
+        # 0 * inf -> nan; in interval semantics that product is 0.
+        cleaned = [0.0 if math.isnan(p) else p for p in products]
+        return Interval(down(min(cleaned)), up(max(cleaned)))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Interval | Number") -> "Interval":
+        o = Interval.coerce(other)
+        if o.lo <= 0.0 <= o.hi:
+            raise ZeroDivisionError(f"division by interval containing zero: {o}")
+        quotients = (
+            self.lo / o.lo,
+            self.lo / o.hi,
+            self.hi / o.lo,
+            self.hi / o.hi,
+        )
+        cleaned = [0.0 if math.isnan(q) else q for q in quotients]
+        return Interval(down(min(cleaned)), up(max(cleaned)))
+
+    def __rtruediv__(self, other: Number) -> "Interval":
+        return Interval.coerce(other) / self
+
+    def __pow__(self, n: int) -> "Interval":
+        """Integer power with exact monotonicity analysis."""
+        if not isinstance(n, int):
+            raise TypeError("interval power requires an integer exponent")
+        if n < 0:
+            return 1.0 / (self ** (-n))
+        if n == 0:
+            return Interval(1.0, 1.0)
+        if n == 1:
+            return self
+        if n % 2 == 1:
+            return Interval(down(self.lo**n), up(self.hi**n))
+        # Even power: minimum at the mignitude, maximum at the magnitude.
+        # A zero mignitude gives an exact zero bound (no rounding needed).
+        lo = 0.0 if self.mig == 0.0 else down(self.mig**n)
+        return Interval(lo, up(self.mag**n))
+
+    def sq(self) -> "Interval":
+        """Square (tighter than ``self * self``)."""
+        return self**2
+
+    def abs(self) -> "Interval":
+        """Absolute value."""
+        return Interval(self.mig, self.mag)
+
+    def scale_and_translate(self, a: float, b: float) -> "Interval":
+        """Compute ``a * self + b`` in one pass."""
+        return self * a + b
+
+    # ------------------------------------------------------------------
+    # Comparisons (set-based certainty semantics)
+    # ------------------------------------------------------------------
+    def certainly_lt(self, other: "Interval | Number") -> bool:
+        o = Interval.coerce(other)
+        return self.hi < o.lo
+
+    def certainly_le(self, other: "Interval | Number") -> bool:
+        o = Interval.coerce(other)
+        return self.hi <= o.lo
+
+    def certainly_gt(self, other: "Interval | Number") -> bool:
+        o = Interval.coerce(other)
+        return self.lo > o.hi
+
+    def certainly_ge(self, other: "Interval | Number") -> bool:
+        o = Interval.coerce(other)
+        return self.lo >= o.hi
+
+    def possibly_lt(self, other: "Interval | Number") -> bool:
+        o = Interval.coerce(other)
+        return self.lo < o.hi
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"[{self.lo:.17g}, {self.hi:.17g}]"
+
+    def __iter__(self):
+        yield self.lo
+        yield self.hi
+
+
+#: Frequently used constants.
+ZERO = Interval(0.0, 0.0)
+ONE = Interval(1.0, 1.0)
+
+# A sound enclosure of pi: math.pi is within 1 ulp of the true value.
+PI = Interval(down(math.pi), up(math.pi))
+TWO_PI = PI * 2.0
+HALF_PI = PI * 0.5

@@ -1,0 +1,72 @@
+"""Directed (outward) rounding helpers.
+
+Python's float arithmetic rounds to nearest. For *sound* interval
+arithmetic every computed lower bound must be rounded toward ``-inf`` and
+every upper bound toward ``+inf``. IEEE-754 round-to-nearest results are
+within one ulp of the exact value for the basic operations
+(``+ - * /`` and ``sqrt``), so stepping one float outward with
+``math.nextafter`` yields a sound directed-rounding emulation.
+
+Library functions (``sin``, ``exp``, ...) are only *faithfully* rounded
+on common platforms (error < 1 ulp, occasionally more). We inflate their
+results by :data:`LIBM_ULPS` ulps, a conservative safety margin.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Number of ulps by which transcendental-function results are inflated.
+LIBM_ULPS = 4
+
+_INF = math.inf
+
+
+def down(x: float) -> float:
+    """Round ``x`` one float toward ``-inf`` (identity on ``-inf``)."""
+    if x == -_INF:
+        return x
+    return math.nextafter(x, -_INF)
+
+
+def up(x: float) -> float:
+    """Round ``x`` one float toward ``+inf`` (identity on ``+inf``)."""
+    if x == _INF:
+        return x
+    return math.nextafter(x, _INF)
+
+
+def down_ulps(x: float, n: int) -> float:
+    """Round ``x`` by ``n`` floats toward ``-inf``."""
+    for _ in range(n):
+        x = down(x)
+    return x
+
+
+def up_ulps(x: float, n: int) -> float:
+    """Round ``x`` by ``n`` floats toward ``+inf``."""
+    for _ in range(n):
+        x = up(x)
+    return x
+
+
+def lib_down(x: float) -> float:
+    """Lower bound for a faithfully-rounded library-function result."""
+    return down_ulps(x, LIBM_ULPS)
+
+
+def lib_up(x: float) -> float:
+    """Upper bound for a faithfully-rounded library-function result."""
+    return up_ulps(x, LIBM_ULPS)
+
+
+def array_down(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`down` (one ulp toward ``-inf``)."""
+    return np.nextafter(x, -np.inf)
+
+
+def array_up(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`up` (one ulp toward ``+inf``)."""
+    return np.nextafter(x, np.inf)

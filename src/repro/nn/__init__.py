@@ -1,0 +1,23 @@
+"""Neural-network substrate: ReLU networks (Definition 2), a numpy
+trainer, and the .nnet exchange format."""
+
+from .network import Network, relu
+from .nnet_format import NNetMetadata, load_nnet, loads_nnet, save_nnet
+from .serialize import load_json, load_npz, save_json, save_npz
+from .train import TrainingConfig, TrainingHistory, train_regression
+
+__all__ = [
+    "NNetMetadata",
+    "Network",
+    "TrainingConfig",
+    "TrainingHistory",
+    "load_json",
+    "load_nnet",
+    "load_npz",
+    "loads_nnet",
+    "relu",
+    "save_json",
+    "save_nnet",
+    "save_npz",
+    "train_regression",
+]

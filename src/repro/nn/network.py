@@ -1,0 +1,127 @@
+"""ReLU feedforward neural networks (Definition 2 of the paper).
+
+A network is a sequence of affine layers; every layer except the last is
+followed by a ReLU. The represented function is deterministic, matching
+the paper's requirement that the controller behave deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise rectified linear unit ``max(0, x)``."""
+    return np.maximum(x, 0.0)
+
+
+class Network:
+    """A ReLU feedforward network ``F = F_L ∘ ... ∘ F_1``.
+
+    ``weights[i]`` has shape ``(k_{i+2}, k_{i+1})`` (maps layer ``i+1``
+    activations to layer ``i+2`` pre-activations); ``biases[i]`` has
+    shape ``(k_{i+2},)``. The input layer is the identity, so a network
+    with ``n`` weight matrices has ``n + 1`` layers in the paper's
+    terminology.
+    """
+
+    def __init__(self, weights: Sequence[np.ndarray], biases: Sequence[np.ndarray]):
+        if len(weights) != len(biases):
+            raise ValueError("weights and biases must have equal length")
+        if not weights:
+            raise ValueError("a network needs at least one affine layer")
+        self.weights = [np.asarray(w, dtype=float) for w in weights]
+        self.biases = [np.asarray(b, dtype=float) for b in biases]
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            if w.ndim != 2:
+                raise ValueError(f"weight {i} must be a matrix, got shape {w.shape}")
+            if b.shape != (w.shape[0],):
+                raise ValueError(
+                    f"bias {i} shape {b.shape} incompatible with weight shape {w.shape}"
+                )
+            if i > 0 and w.shape[1] != self.weights[i - 1].shape[0]:
+                raise ValueError(
+                    f"layer {i} expects {w.shape[1]} inputs but layer {i - 1} "
+                    f"produces {self.weights[i - 1].shape[0]}"
+                )
+
+    # ------------------------------------------------------------------
+    # Shape metadata
+    # ------------------------------------------------------------------
+    @property
+    def input_size(self) -> int:
+        return self.weights[0].shape[1]
+
+    @property
+    def output_size(self) -> int:
+        return self.weights[-1].shape[0]
+
+    @property
+    def layer_sizes(self) -> list[int]:
+        """Node counts per layer, input layer included (paper's k_1..k_L)."""
+        return [self.input_size] + [w.shape[0] for w in self.weights]
+
+    @property
+    def num_hidden_layers(self) -> int:
+        return len(self.weights) - 1
+
+    def num_parameters(self) -> int:
+        return sum(w.size + b.size for w, b in zip(self.weights, self.biases))
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate on a single input vector."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.input_size,):
+            raise ValueError(f"expected input shape ({self.input_size},), got {x.shape}")
+        return self.forward_batch(x[None, :])[0]
+
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate on a batch of inputs, shape ``(n, input_size)``."""
+        act = np.asarray(x, dtype=float)
+        for w, b in zip(self.weights[:-1], self.biases[:-1]):
+            act = relu(act @ w.T + b)
+        return act @ self.weights[-1].T + self.biases[-1]
+
+    def activations(self, x: np.ndarray) -> list[np.ndarray]:
+        """Per-layer post-activation values (used by tests/diagnostics)."""
+        act = np.asarray(x, dtype=float)
+        out = [act]
+        for w, b in zip(self.weights[:-1], self.biases[:-1]):
+            act = relu(act @ w.T + b)
+            out.append(act)
+        out.append(act @ self.weights[-1].T + self.biases[-1])
+        return out
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def random(
+        layer_sizes: Sequence[int], rng: np.random.Generator | None = None
+    ) -> "Network":
+        """He-initialized random network with the given layer sizes."""
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output layers")
+        rng = rng or np.random.default_rng()
+        weights = []
+        biases = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            weights.append(rng.normal(scale=scale, size=(fan_out, fan_in)))
+            biases.append(np.zeros(fan_out))
+        return Network(weights, biases)
+
+    def copy(self) -> "Network":
+        return Network([w.copy() for w in self.weights], [b.copy() for b in self.biases])
+
+    def __repr__(self) -> str:
+        arch = "-".join(str(s) for s in self.layer_sizes)
+        return f"Network({arch}, {self.num_parameters()} parameters)"

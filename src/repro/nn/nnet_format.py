@@ -1,0 +1,147 @@
+"""Reader/writer for the Stanford ``.nnet`` exchange format.
+
+The neural-network ACAS Xu is conventionally distributed as ``.nnet``
+files (Katz et al., Reluplex; Julian et al.). The format is plain text:
+
+* ``//``-prefixed header comments;
+* line 1: ``numLayers, inputSize, outputSize, maxLayerSize``;
+* line 2: comma-separated layer sizes (input layer first);
+* line 3: an unused legacy flag;
+* lines 4-7: input minima, maxima, and normalization means/ranges
+  (the means/ranges lines have ``inputSize + 1`` entries — the last is
+  for the output);
+* then, for each layer, the weight matrix row by row followed by the
+  bias entries, one value per line-cell, comma separated.
+
+We keep the normalization metadata separate from the raw
+:class:`~repro.nn.network.Network` (Definition 2 networks are
+unnormalized; normalization belongs to the controller's pre-processing).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .network import Network
+
+
+@dataclass
+class NNetMetadata:
+    """Input bounds and normalization constants carried by .nnet files."""
+
+    input_mins: np.ndarray
+    input_maxes: np.ndarray
+    means: np.ndarray  # length inputSize + 1 (last entry: output)
+    ranges: np.ndarray  # length inputSize + 1 (last entry: output)
+
+    def normalize_input(self, x: np.ndarray) -> np.ndarray:
+        clipped = np.clip(x, self.input_mins, self.input_maxes)
+        return (clipped - self.means[:-1]) / self.ranges[:-1]
+
+    def denormalize_output(self, y: np.ndarray) -> np.ndarray:
+        return y * self.ranges[-1] + self.means[-1]
+
+    @staticmethod
+    def identity(input_size: int) -> "NNetMetadata":
+        return NNetMetadata(
+            input_mins=np.full(input_size, -np.inf),
+            input_maxes=np.full(input_size, np.inf),
+            means=np.zeros(input_size + 1),
+            ranges=np.ones(input_size + 1),
+        )
+
+
+def _parse_floats(line: str) -> list[float]:
+    return [float(tok) for tok in line.strip().rstrip(",").split(",") if tok.strip()]
+
+
+def load_nnet(path: str | Path) -> tuple[Network, NNetMetadata]:
+    """Read a ``.nnet`` file. Returns the network and its metadata."""
+    with open(path) as handle:
+        return _load_nnet_stream(handle)
+
+
+def loads_nnet(text: str) -> tuple[Network, NNetMetadata]:
+    """Parse ``.nnet`` content from a string."""
+    return _load_nnet_stream(io.StringIO(text))
+
+
+def _load_nnet_stream(handle) -> tuple[Network, NNetMetadata]:
+    lines = [ln for ln in handle if ln.strip() and not ln.lstrip().startswith("//")]
+    cursor = iter(lines)
+
+    header = _parse_floats(next(cursor))
+    num_layers, input_size, output_size = int(header[0]), int(header[1]), int(header[2])
+    layer_sizes = [int(v) for v in _parse_floats(next(cursor))]
+    if len(layer_sizes) != num_layers + 1:
+        raise ValueError(
+            f"layer-size line has {len(layer_sizes)} entries, expected {num_layers + 1}"
+        )
+    if layer_sizes[0] != input_size or layer_sizes[-1] != output_size:
+        raise ValueError("layer sizes disagree with the declared input/output sizes")
+    next(cursor)  # legacy flag line
+
+    input_mins = np.array(_parse_floats(next(cursor)))
+    input_maxes = np.array(_parse_floats(next(cursor)))
+    means = np.array(_parse_floats(next(cursor)))
+    ranges = np.array(_parse_floats(next(cursor)))
+    metadata = NNetMetadata(input_mins, input_maxes, means, ranges)
+
+    weights: list[np.ndarray] = []
+    biases: list[np.ndarray] = []
+    for layer in range(num_layers):
+        rows = layer_sizes[layer + 1]
+        cols = layer_sizes[layer]
+        matrix = np.empty((rows, cols))
+        for r in range(rows):
+            values = _parse_floats(next(cursor))
+            if len(values) != cols:
+                raise ValueError(
+                    f"layer {layer} row {r}: expected {cols} weights, got {len(values)}"
+                )
+            matrix[r] = values
+        bias = np.empty(rows)
+        for r in range(rows):
+            values = _parse_floats(next(cursor))
+            if len(values) != 1:
+                raise ValueError(f"layer {layer} bias row {r}: expected 1 value")
+            bias[r] = values[0]
+        weights.append(matrix)
+        biases.append(bias)
+
+    return Network(weights, biases), metadata
+
+
+def save_nnet(
+    network: Network,
+    path: str | Path,
+    metadata: NNetMetadata | None = None,
+    header: str = "Written by repro.nn.nnet_format",
+) -> None:
+    """Write a network (plus optional metadata) as a ``.nnet`` file."""
+    metadata = metadata or NNetMetadata.identity(network.input_size)
+    sizes = network.layer_sizes
+    with open(path, "w") as out:
+        out.write(f"// {header}\n")
+        out.write(
+            f"{len(network.weights)},{network.input_size},"
+            f"{network.output_size},{max(sizes)},\n"
+        )
+        out.write(",".join(str(s) for s in sizes) + ",\n")
+        out.write("0,\n")
+        for row in (
+            metadata.input_mins,
+            metadata.input_maxes,
+            metadata.means,
+            metadata.ranges,
+        ):
+            out.write(",".join(f"{v:.17g}" for v in row) + ",\n")
+        for w, b in zip(network.weights, network.biases):
+            for row in w:
+                out.write(",".join(f"{v:.17g}" for v in row) + ",\n")
+            for v in b:
+                out.write(f"{v:.17g},\n")

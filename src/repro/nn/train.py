@@ -1,0 +1,164 @@
+"""From-scratch supervised training for ReLU networks.
+
+The ACAS Xu networks were produced by supervised regression of the
+score tables (Julian et al. [16]); this module provides the same recipe
+on top of numpy: mean-squared-error regression with manual
+backpropagation and the Adam optimizer. No external ML framework is
+available offline, and none is needed at this scale (5 networks of
+~13k parameters each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .network import Network, relu
+
+
+@dataclass
+class TrainingConfig:
+    """Hyperparameters for :func:`train_regression`."""
+
+    epochs: int = 200
+    batch_size: int = 256
+    learning_rate: float = 1e-3
+    #: Multiplicative LR decay applied every ``decay_every`` epochs.
+    lr_decay: float = 0.5
+    decay_every: int = 80
+    #: Adam moment coefficients.
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+    #: L2 weight penalty.
+    weight_decay: float = 0.0
+    seed: int = 0
+    #: Stop early once training loss drops below this threshold.
+    target_loss: float = 0.0
+    verbose: bool = False
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss trace returned by the trainer."""
+
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("no epochs recorded")
+        return self.losses[-1]
+
+
+class _Adam:
+    """Adam state for one parameter array."""
+
+    def __init__(self, shape: tuple[int, ...], config: TrainingConfig):
+        self.m = np.zeros(shape)
+        self.v = np.zeros(shape)
+        self.config = config
+
+    def update(self, grad: np.ndarray, step: int, lr: float) -> np.ndarray:
+        cfg = self.config
+        self.m = cfg.beta1 * self.m + (1.0 - cfg.beta1) * grad
+        self.v = cfg.beta2 * self.v + (1.0 - cfg.beta2) * grad * grad
+        m_hat = self.m / (1.0 - cfg.beta1**step)
+        v_hat = self.v / (1.0 - cfg.beta2**step)
+        return lr * m_hat / (np.sqrt(v_hat) + cfg.epsilon)
+
+
+def _forward_with_cache(
+    network: Network, x: np.ndarray
+) -> tuple[np.ndarray, list[np.ndarray], list[np.ndarray]]:
+    """Forward pass keeping pre- and post-activations for backprop."""
+    pre: list[np.ndarray] = []
+    post: list[np.ndarray] = [x]
+    act = x
+    for w, b in zip(network.weights[:-1], network.biases[:-1]):
+        z = act @ w.T + b
+        pre.append(z)
+        act = relu(z)
+        post.append(act)
+    out = act @ network.weights[-1].T + network.biases[-1]
+    return out, pre, post
+
+
+def _backward(
+    network: Network,
+    grad_out: np.ndarray,
+    pre: list[np.ndarray],
+    post: list[np.ndarray],
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Gradients of the loss w.r.t. every weight and bias."""
+    grads_w: list[np.ndarray] = [np.zeros_like(w) for w in network.weights]
+    grads_b: list[np.ndarray] = [np.zeros_like(b) for b in network.biases]
+
+    delta = grad_out
+    grads_w[-1] = delta.T @ post[-1]
+    grads_b[-1] = delta.sum(axis=0)
+    for layer in range(len(network.weights) - 2, -1, -1):
+        delta = (delta @ network.weights[layer + 1]) * (pre[layer] > 0.0)
+        grads_w[layer] = delta.T @ post[layer]
+        grads_b[layer] = delta.sum(axis=0)
+    return grads_w, grads_b
+
+
+def train_regression(
+    network: Network,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    config: TrainingConfig | None = None,
+) -> TrainingHistory:
+    """Train ``network`` in place to regress ``targets`` from ``inputs``.
+
+    Minimizes mean squared error with Adam. Returns the loss history.
+    """
+    config = config or TrainingConfig()
+    inputs = np.asarray(inputs, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if inputs.ndim != 2 or targets.ndim != 2:
+        raise ValueError("inputs and targets must be 2-D arrays")
+    if inputs.shape[0] != targets.shape[0]:
+        raise ValueError("inputs and targets must have the same number of rows")
+    if inputs.shape[1] != network.input_size:
+        raise ValueError("input width does not match the network")
+    if targets.shape[1] != network.output_size:
+        raise ValueError("target width does not match the network")
+
+    rng = np.random.default_rng(config.seed)
+    n = inputs.shape[0]
+    adam_w = [_Adam(w.shape, config) for w in network.weights]
+    adam_b = [_Adam(b.shape, config) for b in network.biases]
+    history = TrainingHistory()
+    step = 0
+    lr = config.learning_rate
+
+    for epoch in range(config.epochs):
+        if epoch > 0 and epoch % config.decay_every == 0:
+            lr *= config.lr_decay
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        for start in range(0, n, config.batch_size):
+            batch = order[start : start + config.batch_size]
+            x = inputs[batch]
+            y = targets[batch]
+            out, pre, post = _forward_with_cache(network, x)
+            residual = out - y
+            epoch_loss += float(np.sum(residual**2))
+            grad_out = 2.0 * residual / x.shape[0]
+            grads_w, grads_b = _backward(network, grad_out, pre, post)
+            step += 1
+            for i, (gw, gb) in enumerate(zip(grads_w, grads_b)):
+                if config.weight_decay > 0.0:
+                    gw = gw + config.weight_decay * network.weights[i]
+                network.weights[i] -= adam_w[i].update(gw, step, lr)
+                network.biases[i] -= adam_b[i].update(gb, step, lr)
+        mean_loss = epoch_loss / n
+        history.losses.append(mean_loss)
+        if config.verbose and epoch % 10 == 0:
+            print(f"epoch {epoch:4d}  loss {mean_loss:.6f}")
+        if mean_loss <= config.target_loss:
+            break
+    return history

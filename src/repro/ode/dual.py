@@ -1,0 +1,131 @@
+"""Forward-mode automatic differentiation over generic scalars.
+
+A :class:`Dual` carries a value and a vector of partial derivatives
+w.r.t. the initial state. Components may be any scalar the generic ops
+understand — floats, :class:`~repro.intervals.Interval`, or
+:class:`~repro.ode.jet.Jet` — so running the ODE right-hand side on
+Duals-of-Jets yields, in one pass, the Taylor coefficients of both the
+flow *and* its Jacobian (the variational equation), which is what the
+mean-value Lohner integrator needs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .ops import gcos, gsin, gsq, gsqrt
+
+
+class Dual:
+    """``value + sum_i partials[i] * d s0_i`` (first-order truncation)."""
+
+    __slots__ = ("value", "partials")
+
+    def __init__(self, value, partials: Sequence):
+        self.value = value
+        self.partials = list(partials)
+
+    @staticmethod
+    def constant(value, size: int) -> "Dual":
+        return Dual(value, [0.0] * size)
+
+    @staticmethod
+    def seed(value, index: int, size: int) -> "Dual":
+        partials = [0.0] * size
+        partials[index] = 1.0
+        return Dual(value, partials)
+
+    def _coerce(self, other) -> "Dual":
+        if isinstance(other, Dual):
+            if len(other.partials) != len(self.partials):
+                raise ValueError("dual partial-vector sizes differ")
+            return other
+        return Dual.constant(other, len(self.partials))
+
+    # ------------------------------------------------------------------
+    # Ring operations (standard forward-mode rules)
+    # ------------------------------------------------------------------
+    def __neg__(self) -> "Dual":
+        return Dual(-self.value, [-p for p in self.partials])
+
+    def __add__(self, other) -> "Dual":
+        o = self._coerce(other)
+        return Dual(
+            self.value + o.value,
+            [a + b for a, b in zip(self.partials, o.partials)],
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Dual":
+        o = self._coerce(other)
+        return Dual(
+            self.value - o.value,
+            [a - b for a, b in zip(self.partials, o.partials)],
+        )
+
+    def __rsub__(self, other) -> "Dual":
+        return self._coerce(other) - self
+
+    def __mul__(self, other) -> "Dual":
+        o = self._coerce(other)
+        return Dual(
+            self.value * o.value,
+            [
+                a * o.value + self.value * b
+                for a, b in zip(self.partials, o.partials)
+            ],
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Dual":
+        o = self._coerce(other)
+        quotient = self.value / o.value
+        return Dual(
+            quotient,
+            [
+                (a - quotient * b) / o.value
+                for a, b in zip(self.partials, o.partials)
+            ],
+        )
+
+    def __rtruediv__(self, other) -> "Dual":
+        return self._coerce(other) / self
+
+    def __pow__(self, n: int) -> "Dual":
+        if not isinstance(n, int) or n < 0:
+            raise TypeError("dual power requires a non-negative integer")
+        result = Dual.constant(1.0, len(self.partials))
+        for _ in range(n):
+            result = result * self
+        return result
+
+    # ------------------------------------------------------------------
+    # Elementary functions (chain rule over the generic ops)
+    # ------------------------------------------------------------------
+    def sin(self) -> "Dual":
+        s = gsin(self.value)
+        c = gcos(self.value)
+        return Dual(s, [c * p for p in self.partials])
+
+    def cos(self) -> "Dual":
+        s = gsin(self.value)
+        c = gcos(self.value)
+        return Dual(c, [-(s * p) for p in self.partials])
+
+    def sin_cos(self) -> tuple["Dual", "Dual"]:
+        return self.sin(), self.cos()
+
+    def sqrt(self) -> "Dual":
+        root = gsqrt(self.value)
+        half_inv = 0.5 / root
+        return Dual(root, [half_inv * p for p in self.partials])
+
+    def sq(self) -> "Dual":
+        return Dual(
+            gsq(self.value), [(self.value * 2.0) * p for p in self.partials]
+        )
+
+    def __repr__(self) -> str:
+        return f"Dual({self.value!r}, {self.partials!r})"

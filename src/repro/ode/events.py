@@ -1,0 +1,92 @@
+"""Event queries on validated flow tubes.
+
+Utilities to interrogate a :class:`~repro.ode.ivp.FlowPipe` against a
+state predicate — e.g. "when could the flow first enter the unsafe set
+E?". Predicates are callables on boxes returning True when the box
+*possibly* intersects the set (sound in the over-approximating
+direction, as provided by :mod:`repro.sets`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..intervals import Box
+from .ivp import FlowPipe
+
+BoxPredicate = Callable[[Box], bool]
+
+
+def crossing_steps(pipe: FlowPipe, possibly_inside: BoxPredicate) -> list[int]:
+    """Indices of substeps whose range box possibly intersects the set."""
+    return [
+        i for i, step in enumerate(pipe.steps) if possibly_inside(step.range_box)
+    ]
+
+
+def first_possible_crossing(
+    pipe: FlowPipe, possibly_inside: BoxPredicate
+) -> float | None:
+    """Start time of the first substep possibly entering the set.
+
+    Returns ``None`` if the tube provably avoids the set. The returned
+    time is a sound *lower* bound on the true first-entry time.
+    """
+    for step in pipe.steps:
+        if possibly_inside(step.range_box):
+            return step.t_start
+    return None
+
+
+def refine_crossing_time(
+    pipe: FlowPipe,
+    possibly_inside: BoxPredicate,
+    integrator,
+    u,
+    refinements: int = 4,
+) -> float | None:
+    """Bisection refinement of the first possible crossing time.
+
+    Re-integrates the first crossing substep at doubling resolution to
+    sharpen the lower bound on the entry time. ``integrator`` must offer
+    the ``integrate(t0, t1, box, u, substeps)`` interface.
+    """
+    target = None
+    for step in pipe.steps:
+        if possibly_inside(step.range_box):
+            target = step
+            break
+    if target is None:
+        return None
+    t_lo = target.t_start
+    current = target
+    start_box = _start_box_for(pipe, target)
+    for _ in range(refinements):
+        sub = integrator.integrate(
+            current.t_start, current.t_end, start_box, u, substeps=2
+        )
+        first, second = sub.steps
+        if possibly_inside(first.range_box):
+            current = first
+        elif possibly_inside(second.range_box):
+            current = second
+            start_box = first.end_box
+        else:
+            # Refinement proved the original step spurious: no crossing
+            # within this step at this resolution.
+            return current.t_start
+        t_lo = current.t_start
+    return t_lo
+
+
+def _start_box_for(pipe: FlowPipe, target) -> Box:
+    previous_end = None
+    for step in pipe.steps:
+        if step is target:
+            break
+        previous_end = step.end_box
+    if previous_end is not None:
+        return previous_end
+    # The first step starts from the (unrecorded) initial box; the range
+    # box is a sound stand-in.
+    return target.range_box

@@ -1,0 +1,64 @@
+"""Generic math operations that dispatch on the operand type.
+
+Plant right-hand sides are written once, against these generic
+functions, and can then be evaluated:
+
+* on **floats** — concrete simulation (baselines, tests);
+* on **intervals** — range evaluation (Picard enclosures, set checks);
+* on **Taylor jets** — validated integration coefficients;
+* on **affine forms** — zonotopic transformers.
+
+This mirrors how DynIBEX evaluates one ODE definition under several
+arithmetic back-ends.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from ..intervals import AffineForm, Interval, icos, isin, isqrt
+
+
+def gsin(x: Any):
+    """Generic sine."""
+    if isinstance(x, (int, float)):
+        return math.sin(x)
+    if isinstance(x, Interval):
+        return isin(x)
+    if isinstance(x, AffineForm):
+        return x.sin()
+    return x.sin()  # Jet and other duck-typed operands
+
+
+def gcos(x: Any):
+    """Generic cosine."""
+    if isinstance(x, (int, float)):
+        return math.cos(x)
+    if isinstance(x, Interval):
+        return icos(x)
+    if isinstance(x, AffineForm):
+        return x.cos()
+    return x.cos()
+
+
+def gsqrt(x: Any):
+    """Generic square root."""
+    if isinstance(x, (int, float)):
+        return math.sqrt(x)
+    if isinstance(x, Interval):
+        return isqrt(x)
+    if isinstance(x, AffineForm):
+        return x.sqrt()
+    return x.sqrt()
+
+
+def gsq(x: Any):
+    """Generic square."""
+    if isinstance(x, (int, float)):
+        return x * x
+    if isinstance(x, Interval):
+        return x.sq()
+    if isinstance(x, AffineForm):
+        return x.sq()
+    return x.sq()

@@ -1,0 +1,323 @@
+"""Taylor coefficients of the variational (Jacobian) flow.
+
+For the mean-value form the integrator needs an enclosure of
+``J(h) = ∂s(t0+h)/∂s0``. ``J`` solves the variational equation
+``J' = (∂f/∂s)(s(t)) · J``; its Taylor coefficients obey the same
+recurrence as the flow's, so running the coefficient recursion on
+:class:`~repro.ode.dual.Dual` numbers whose components are interval
+jets yields flow and Jacobian coefficients in one pass.
+
+The Lagrange remainder is handled the Lohner way: a separate Picard
+step produces an a-priori enclosure ``J_enc`` of the Jacobian over the
+whole step (from the interval matrix ``A = ∂f/∂s`` evaluated over the
+state enclosure ``B``), and the ``(order+1)``-th coefficient is then
+computed with the recursion *seeded* at ``(B, J_enc)`` — which encloses
+the true Taylor coefficient of ``J`` at every intermediate time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..intervals import Interval
+from .dual import Dual
+from .ivp import EnclosureError, ODESystem
+from .jet import Jet
+
+_ZERO = Interval(0.0, 0.0)
+_ONE = Interval(1.0, 1.0)
+
+IntervalMatrix = list[list[Interval]]
+
+
+# ----------------------------------------------------------------------
+# Small interval-matrix helpers (n is tiny: plant state dimension)
+# ----------------------------------------------------------------------
+def identity_matrix(n: int) -> IntervalMatrix:
+    return [[_ONE if i == j else _ZERO for j in range(n)] for i in range(n)]
+
+
+def mat_mul(a: IntervalMatrix, b: IntervalMatrix) -> IntervalMatrix:
+    n = len(a)
+    m = len(b[0])
+    inner = len(b)
+    out = []
+    for i in range(n):
+        row = []
+        for j in range(m):
+            acc = _ZERO
+            for k in range(inner):
+                acc = acc + a[i][k] * b[k][j]
+            row.append(acc)
+        out.append(row)
+    return out
+
+
+def mat_add(a: IntervalMatrix, b: IntervalMatrix) -> IntervalMatrix:
+    return [[x + y for x, y in zip(ra, rb)] for ra, rb in zip(a, b)]
+
+
+def mat_scale(a: IntervalMatrix, s: Interval) -> IntervalMatrix:
+    return [[x * s for x in row] for row in a]
+
+
+def mat_hull(a: IntervalMatrix, b: IntervalMatrix) -> IntervalMatrix:
+    return [[x.hull(y) for x, y in zip(ra, rb)] for ra, rb in zip(a, b)]
+
+
+def mat_contains(outer: IntervalMatrix, inner: IntervalMatrix) -> bool:
+    return all(
+        o.contains(i) for ro, ri in zip(outer, inner) for o, i in zip(ro, ri)
+    )
+
+
+def mat_inflate(a: IntervalMatrix, rel: float, abs_floor: float) -> IntervalMatrix:
+    return [[x.widen_relative(rel, abs_floor) for x in row] for row in a]
+
+
+def mat_vec(a: IntervalMatrix, v: Sequence[Interval]) -> list[Interval]:
+    out = []
+    for row in a:
+        acc = _ZERO
+        for x, y in zip(row, v):
+            acc = acc + x * y
+        out.append(acc)
+    return out
+
+
+def float_matrix(values: np.ndarray) -> IntervalMatrix:
+    """Exact interval matrix from float entries."""
+    return [[Interval.point(float(v)) for v in row] for row in values]
+
+
+def mat_midpoint(a: IntervalMatrix) -> np.ndarray:
+    return np.array([[x.mid for x in row] for row in a])
+
+
+def inverse_enclosure(q: np.ndarray) -> IntervalMatrix:
+    """Rigorous enclosure of ``Q^{-1}`` for a near-orthogonal float ``Q``.
+
+    Uses ``Q^{-1} = (I - E)^{-1} Q^T`` with ``E = I - Q^T Q`` computed in
+    interval arithmetic: if ``‖E‖∞ = e < 1`` then the correction term is
+    bounded by ``e/(1-e) · ‖Q^T‖∞`` in every entry (Neumann series).
+
+    Raises :class:`EnclosureError` when ``Q`` is too far from orthogonal.
+    """
+    n = q.shape[0]
+    qt = float_matrix(q.T)
+    residual = mat_add(
+        identity_matrix(n), mat_scale(mat_mul(qt, float_matrix(q)), Interval.point(-1.0))
+    )
+    e_norm = max(sum(x.mag for x in row) for row in residual)
+    if e_norm >= 0.5:
+        raise EnclosureError("QR frame too far from orthogonal to invert rigorously")
+    qt_norm = max(sum(abs(float(v)) for v in row) for row in q.T)
+    phi = e_norm / (1.0 - e_norm) * qt_norm
+    correction = Interval(-phi, phi)
+    return [[qt[i][j] + correction for j in range(n)] for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# First-order AD of the right-hand side: A = ∂f/∂s over a region
+# ----------------------------------------------------------------------
+def rhs_jacobian(
+    system: ODESystem,
+    t: Interval,
+    state: Sequence[Interval],
+    u: np.ndarray,
+) -> IntervalMatrix:
+    """Interval enclosure of ``∂f/∂s`` over ``t x state``."""
+    n = system.dim
+    duals = [
+        Dual.seed(Interval.coerce(state[i]), i, n) for i in range(n)
+    ]
+    derivative = system.rhs(t, duals, u)
+    rows: IntervalMatrix = []
+    for i in range(n):
+        d = derivative[i]
+        partials = d.partials if isinstance(d, Dual) else [0.0] * n
+        rows.append([Interval.coerce(p) for p in partials])
+    return rows
+
+
+def balance_scales(a_matrix: IntervalMatrix, sweeps: int = 8) -> list[float]:
+    """Osborne-style diagonal balancing of ``|A|``.
+
+    Physical plants mix state units (ACAS: feet vs radians), which
+    makes the raw norm ``||A||·h`` huge even when the dynamics are
+    mild. Balancing finds ``d`` with ``A'_ij = A_ij d_j / d_i`` of
+    equilibrated row/column norms; the variational Picard contracts in
+    the scaled coordinates. Similarity scaling is exact, so soundness
+    is unaffected.
+    """
+    n = len(a_matrix)
+    mags = [[a_matrix[i][j].mag for j in range(n)] for i in range(n)]
+    # Outward rounding leaves denormal-size dust in structurally-zero
+    # entries; flooring it out keeps the balancing well-posed.
+    peak = max((m for row in mags for m in row), default=0.0)
+    floor = max(peak * 1e-12, 1e-300)
+    mags = [[m if m >= floor else 0.0 for m in row] for row in mags]
+    d = [1.0] * n
+    for _ in range(sweeps):
+        for i in range(n):
+            row = sum(mags[i][j] * d[j] for j in range(n) if j != i) / d[i]
+            col = sum(mags[j][i] * d[i] / d[j] for j in range(n) if j != i)
+            if row > 0.0 and col > 0.0:
+                factor = math.sqrt(row / col)
+                d[i] *= min(max(factor, 1e-8), 1e8)
+    if any(not math.isfinite(x) or x <= 0.0 for x in d):
+        return [1.0] * n
+    return d
+
+
+def jacobian_apriori_enclosure(
+    a_matrix: IntervalMatrix,
+    h: float,
+    max_attempts: int = 12,
+) -> IntervalMatrix:
+    """Picard enclosure of the variational flow over one step.
+
+    Finds ``J_enc ⊇ I`` with ``I + [0, h]·A·J_enc ⊆ J_enc`` (the
+    Picard operator of the linear matrix ODE ``J' = A J``), working in
+    balanced coordinates so mixed state units do not defeat the
+    contraction.
+    """
+    n = len(a_matrix)
+    d = balance_scales(a_matrix)
+    scaled = [
+        [a_matrix[i][j] * (d[j] / d[i]) for j in range(n)] for i in range(n)
+    ]
+    eye = identity_matrix(n)
+    h_iv = Interval(0.0, h)
+    candidate = mat_hull(eye, mat_add(eye, mat_scale(mat_mul(scaled, eye), h_iv)))
+    growth = 0.1
+    for _ in range(max_attempts):
+        trial = mat_inflate(candidate, growth, 1e-9)
+        image = mat_add(eye, mat_scale(mat_mul(scaled, trial), h_iv))
+        if mat_contains(trial, image):
+            # Undo the similarity scaling: J = D J' D^{-1}.
+            return [
+                [image[i][j] * (d[i] / d[j]) for j in range(n)]
+                for i in range(n)
+            ]
+        candidate = mat_hull(trial, image)
+        growth *= 2.0
+    raise EnclosureError(
+        "no a-priori enclosure for the variational equation; "
+        "the step is too large for the mean-value form"
+    )
+
+
+# ----------------------------------------------------------------------
+# Coefficient recursion on duals-of-jets
+# ----------------------------------------------------------------------
+def variational_taylor_coefficients(
+    system: ODESystem,
+    t0: float,
+    state: Sequence[Interval],
+    u: np.ndarray,
+    order: int,
+    jacobian_seed: IntervalMatrix | None = None,
+) -> tuple[list[list[Interval]], list[list[list[Interval]]]]:
+    """Coefficients of the flow and its Jacobian up to ``order``.
+
+    Returns ``(value, jacobian)`` with ``value[i][k]`` the k-th Taylor
+    coefficient of state component ``i`` and ``jacobian[i][j][k]`` the
+    k-th coefficient of ``∂s_i/∂s0_j``, seeded at ``jacobian_seed``
+    (identity by default) — all intervals enclosing the coefficients
+    for every initial point in ``state`` (and every seed selection).
+    """
+    n = system.dim
+    seed = jacobian_seed or identity_matrix(n)
+    value: list[list[Interval]] = [[Interval.coerce(state[i])] for i in range(n)]
+    jacobian: list[list[list[Interval]]] = [
+        [[seed[i][j]] for j in range(n)] for i in range(n)
+    ]
+
+    for k in range(order):
+        duals = []
+        for i in range(n):
+            duals.append(
+                Dual(
+                    Jet(value[i]),
+                    [Jet(jacobian[i][j]) for j in range(n)],
+                )
+            )
+        t_jet = Jet.variable(t0, k)
+        derivative = system.rhs(t_jet, duals, u)
+        for i in range(n):
+            d = derivative[i]
+            value[i].append(_component_coeff(_dual_value(d), k) / float(k + 1))
+            partials = _dual_partials(d, n)
+            for j in range(n):
+                jacobian[i][j].append(
+                    _component_coeff(partials[j], k) / float(k + 1)
+                )
+    return value, jacobian
+
+
+def _dual_value(d):
+    return d.value if isinstance(d, Dual) else d
+
+
+def _dual_partials(d, n: int):
+    if isinstance(d, Dual):
+        return d.partials
+    return [0.0] * n
+
+
+def _component_coeff(component, k: int) -> Interval:
+    """The k-th Taylor coefficient of a Jet/scalar component."""
+    if isinstance(component, Jet):
+        return component.coeff(k)
+    if k == 0:
+        return Interval.coerce(component)
+    return _ZERO
+
+
+def jacobian_enclosure(
+    system: ODESystem,
+    t0: float,
+    h: float,
+    s0_intervals: Sequence[Interval],
+    enclosure_intervals: Sequence[Interval],
+    u: np.ndarray,
+    order: int,
+) -> IntervalMatrix:
+    """Interval enclosure of ``∂s(t0+h)/∂s0`` over the initial box.
+
+    Polynomial part from the initial box with identity seed; Lagrange
+    remainder from the recursion seeded at the a-priori enclosures of
+    both the state (``B``) and the Jacobian (``J_enc``).
+    """
+    _val, jac = variational_taylor_coefficients(
+        system, t0, s0_intervals, u, order
+    )
+    t_iv = Interval(t0, t0 + h)
+    a_matrix = rhs_jacobian(system, t_iv, enclosure_intervals, u)
+    j_enc = jacobian_apriori_enclosure(a_matrix, h)
+    _val_b, jac_b = variational_taylor_coefficients(
+        system,
+        t0,
+        enclosure_intervals,
+        u,
+        order + 1,
+        jacobian_seed=j_enc,
+    )
+    h_point = Interval.point(h)
+    n = system.dim
+    result: IntervalMatrix = []
+    for i in range(n):
+        row = []
+        for j in range(n):
+            series = jac[i][j]
+            acc = series[-1]
+            for c in reversed(series[:-1]):
+                acc = acc * h_point + c
+            remainder = jac_b[i][j][order + 1] * h_point ** (order + 1)
+            row.append(acc + remainder)
+        result.append(row)
+    return result

@@ -1,0 +1,34 @@
+"""State-set specifications for the initial, erroneous and target sets."""
+
+from .command import PerCommandSet, resolve_for_command
+from .geometric import (
+    BallSet,
+    BoxSet,
+    HalfSpaceSet,
+    OutsideBallSet,
+    SublevelSet,
+)
+from .spec import (
+    ComplementSet,
+    EmptySet,
+    FullSet,
+    IntersectionSet,
+    SetSpec,
+    UnionSet,
+)
+
+__all__ = [
+    "BallSet",
+    "BoxSet",
+    "ComplementSet",
+    "EmptySet",
+    "FullSet",
+    "HalfSpaceSet",
+    "IntersectionSet",
+    "OutsideBallSet",
+    "PerCommandSet",
+    "SetSpec",
+    "resolve_for_command",
+    "SublevelSet",
+    "UnionSet",
+]

@@ -1,0 +1,77 @@
+"""Command-dependent state sets.
+
+The paper's erroneous and target sets live in ``R^l x U`` (Section
+4.1): membership may depend on the active command, not just the plant
+state (e.g. "a strong turn at low altitude is itself hazardous"). A
+:class:`PerCommandSet` maps each command index to a plain
+:class:`~repro.sets.spec.SetSpec`; the reachability procedure resolves
+it against each symbolic state's concrete command — exact, because
+symbolic states carry commands concretely (Definition 7).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..intervals import Box
+from .spec import EmptySet, SetSpec
+
+
+class PerCommandSet:
+    """A set ``{(s, u^(i)) : s in spec_i}`` — one spec per command.
+
+    Implements the plain :class:`SetSpec` interface conservatively
+    (quantifying over *all* commands) so it degrades soundly when used
+    where command information is unavailable, and exposes
+    :meth:`for_command` for exact per-command resolution.
+    """
+
+    def __init__(
+        self,
+        by_command: Mapping[int, SetSpec],
+        default: SetSpec | None = None,
+    ):
+        self.by_command = dict(by_command)
+        self.default = default if default is not None else EmptySet()
+
+    def for_command(self, command: int) -> SetSpec:
+        """The exact state-set for one command."""
+        return self.by_command.get(command, self.default)
+
+    def _all_specs(self) -> list[SetSpec]:
+        return list(self.by_command.values()) + [self.default]
+
+    # Conservative command-agnostic queries ------------------------------
+    def contains_box(self, box: Box) -> bool:
+        """True only if the box is inside the set for *every* command."""
+        return all(spec.contains_box(box) for spec in self._all_specs())
+
+    def disjoint_box(self, box: Box) -> bool:
+        """True only if the box avoids the set for *every* command."""
+        return all(spec.disjoint_box(box) for spec in self._all_specs())
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        """Command-agnostic membership: inside for *some* command."""
+        return any(spec.contains_point(point) for spec in self._all_specs())
+
+    def contains_state(self, point: np.ndarray, command: int) -> bool:
+        """Exact concrete membership of ``(point, command)``."""
+        return self.for_command(command).contains_point(point)
+
+    def __repr__(self) -> str:
+        return f"PerCommandSet({self.by_command!r}, default={self.default!r})"
+
+
+def resolve_for_command(spec, command: int):
+    """Resolve a possibly command-dependent spec for a concrete command.
+
+    Plain :class:`SetSpec` objects pass through unchanged; objects with
+    a ``for_command`` method (e.g. :class:`PerCommandSet`) are resolved
+    exactly. Used by the reachability core.
+    """
+    resolver = getattr(spec, "for_command", None)
+    if resolver is None:
+        return spec
+    return resolver(command)

@@ -1,0 +1,167 @@
+"""Concrete geometric set specifications.
+
+The ACAS Xu scenario uses cylindrical sets over the relative position
+(collision disc ``ρ < 500 ft``, sensor-range complement ``ρ > r``);
+half-spaces and boxes cover the common shapes of other case studies.
+All box queries are interval-arithmetic evaluations, hence sound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..intervals import Box, Interval, ihypot
+
+
+class BallSet:
+    """Euclidean ball ``||x[dims] - center|| < radius`` over 2 dimensions.
+
+    ``dims`` selects the coordinates of the plant state that span the
+    plane (for ACAS: the relative position ``(x, y)`` at dims (0, 1)).
+    """
+
+    def __init__(
+        self,
+        dims: tuple[int, int],
+        center: tuple[float, float],
+        radius: float,
+    ):
+        if radius <= 0.0:
+            raise ValueError("radius must be positive")
+        self.dims = dims
+        self.center = (float(center[0]), float(center[1]))
+        self.radius = float(radius)
+
+    def _distance_interval(self, box: Box) -> Interval:
+        dx = box[self.dims[0]] - self.center[0]
+        dy = box[self.dims[1]] - self.center[1]
+        return ihypot(dx, dy)
+
+    def contains_box(self, box: Box) -> bool:
+        return self._distance_interval(box).hi < self.radius
+
+    def disjoint_box(self, box: Box) -> bool:
+        return self._distance_interval(box).lo >= self.radius
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        dx = float(point[self.dims[0]]) - self.center[0]
+        dy = float(point[self.dims[1]]) - self.center[1]
+        return math.hypot(dx, dy) < self.radius
+
+    def __repr__(self) -> str:
+        return f"BallSet(dims={self.dims}, center={self.center}, radius={self.radius})"
+
+
+class OutsideBallSet:
+    """Complement of a closed ball: ``||x[dims] - center|| > radius``.
+
+    The ACAS target set ``T`` ("intruder outside sensor range") has this
+    shape.
+    """
+
+    def __init__(
+        self,
+        dims: tuple[int, int],
+        center: tuple[float, float],
+        radius: float,
+    ):
+        self._ball = BallSet(dims, center, radius)
+
+    @property
+    def radius(self) -> float:
+        return self._ball.radius
+
+    def contains_box(self, box: Box) -> bool:
+        return self._ball._distance_interval(box).lo > self._ball.radius
+
+    def disjoint_box(self, box: Box) -> bool:
+        return self._ball._distance_interval(box).hi <= self._ball.radius
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        ball = self._ball
+        dx = float(point[ball.dims[0]]) - ball.center[0]
+        dy = float(point[ball.dims[1]]) - ball.center[1]
+        return math.hypot(dx, dy) > ball.radius
+
+    def __repr__(self) -> str:
+        return f"Outside{self._ball!r}"
+
+
+class HalfSpaceSet:
+    """Half-space ``normal . x <= offset``."""
+
+    def __init__(self, normal: Sequence[float], offset: float):
+        self.normal = np.asarray(normal, dtype=float)
+        self.offset = float(offset)
+
+    def _dot_interval(self, box: Box) -> Interval:
+        acc = Interval.point(0.0)
+        for i, coef in enumerate(self.normal):
+            if coef != 0.0:
+                acc = acc + box[i] * float(coef)
+        return acc
+
+    def contains_box(self, box: Box) -> bool:
+        return self._dot_interval(box).hi <= self.offset
+
+    def disjoint_box(self, box: Box) -> bool:
+        return self._dot_interval(box).lo > self.offset
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        return float(self.normal @ np.asarray(point, dtype=float)) <= self.offset
+
+    def __repr__(self) -> str:
+        return f"HalfSpaceSet({self.normal.tolist()} . x <= {self.offset})"
+
+
+class BoxSet:
+    """An axis-aligned box as a set specification."""
+
+    def __init__(self, box: Box):
+        self.box = box
+
+    def contains_box(self, other: Box) -> bool:
+        return self.box.contains_box(other)
+
+    def disjoint_box(self, other: Box) -> bool:
+        return not self.box.overlaps(other)
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        return self.box.contains_point(point)
+
+    def __repr__(self) -> str:
+        return f"BoxSet({self.box!r})"
+
+
+class SublevelSet:
+    """Set ``{x : g(x) <= 0}`` for an interval-evaluable function ``g``.
+
+    ``g_interval`` maps a Box to an Interval enclosing the range of
+    ``g``; ``g_point`` is the concrete evaluation. This is the generic
+    escape hatch for non-polyhedral, non-cylindrical sets.
+    """
+
+    def __init__(
+        self,
+        g_interval: Callable[[Box], Interval],
+        g_point: Callable[[np.ndarray], float],
+        name: str = "sublevel",
+    ):
+        self.g_interval = g_interval
+        self.g_point = g_point
+        self.name = name
+
+    def contains_box(self, box: Box) -> bool:
+        return self.g_interval(box).hi <= 0.0
+
+    def disjoint_box(self, box: Box) -> bool:
+        return self.g_interval(box).lo > 0.0
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        return self.g_point(np.asarray(point, dtype=float)) <= 0.0
+
+    def __repr__(self) -> str:
+        return f"SublevelSet({self.name})"

@@ -1,0 +1,140 @@
+"""Sound set specifications over plant-state boxes.
+
+The verification problem needs three kinds of queries against the
+erroneous set ``E`` and the target set ``T`` (Section 5):
+
+* ``contains_box(box)`` — True only if *every* point of the box is in
+  the set (used for the termination test ``([s], u) ⊂ T``);
+* ``disjoint_box(box)`` — True only if *no* point of the box is in the
+  set (used for the safety test ``R ∩ E = ∅``);
+* ``contains_point(point)`` — exact concrete membership.
+
+Both box queries are conservative: they may answer False when the truth
+is unclear, which errs on the side of "possibly intersecting" /
+"possibly not contained" and therefore preserves soundness of the
+overall procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..intervals import Box
+
+
+@runtime_checkable
+class SetSpec(Protocol):
+    """Protocol for sound state-set specifications."""
+
+    def contains_box(self, box: Box) -> bool:
+        """True only if the whole box lies inside the set."""
+        ...
+
+    def disjoint_box(self, box: Box) -> bool:
+        """True only if the box does not meet the set."""
+        ...
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        """Exact membership of a concrete state."""
+        ...
+
+
+class ComplementSet:
+    """Complement of another specification.
+
+    The box queries swap roles: a box is inside the complement iff it is
+    disjoint from the original set, and vice versa.
+    """
+
+    def __init__(self, inner: SetSpec):
+        self.inner = inner
+
+    def contains_box(self, box: Box) -> bool:
+        return self.inner.disjoint_box(box)
+
+    def disjoint_box(self, box: Box) -> bool:
+        return self.inner.contains_box(box)
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        return not self.inner.contains_point(point)
+
+    def __repr__(self) -> str:
+        return f"Complement({self.inner!r})"
+
+
+class UnionSet:
+    """Union of specifications."""
+
+    def __init__(self, parts: Sequence[SetSpec]):
+        if not parts:
+            raise ValueError("union of zero sets is empty; use EmptySet")
+        self.parts = list(parts)
+
+    def contains_box(self, box: Box) -> bool:
+        # Sufficient (not complete): one part containing the whole box.
+        return any(p.contains_box(box) for p in self.parts)
+
+    def disjoint_box(self, box: Box) -> bool:
+        return all(p.disjoint_box(box) for p in self.parts)
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        return any(p.contains_point(point) for p in self.parts)
+
+    def __repr__(self) -> str:
+        return f"Union({self.parts!r})"
+
+
+class IntersectionSet:
+    """Intersection of specifications."""
+
+    def __init__(self, parts: Sequence[SetSpec]):
+        if not parts:
+            raise ValueError("intersection of zero sets is everything; use FullSet")
+        self.parts = list(parts)
+
+    def contains_box(self, box: Box) -> bool:
+        return all(p.contains_box(box) for p in self.parts)
+
+    def disjoint_box(self, box: Box) -> bool:
+        # Sufficient: disjoint from any part.
+        return any(p.disjoint_box(box) for p in self.parts)
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        return all(p.contains_point(point) for p in self.parts)
+
+    def __repr__(self) -> str:
+        return f"Intersection({self.parts!r})"
+
+
+class EmptySet:
+    """The empty set (useful as a trivial E or T)."""
+
+    def contains_box(self, box: Box) -> bool:
+        return False
+
+    def disjoint_box(self, box: Box) -> bool:
+        return True
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "EmptySet()"
+
+
+class FullSet:
+    """The full state space."""
+
+    def contains_box(self, box: Box) -> bool:
+        return True
+
+    def disjoint_box(self, box: Box) -> bool:
+        return False
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "FullSet()"

@@ -1,0 +1,40 @@
+"""Sound argmin/argmax abstractions over output boxes.
+
+Used by ``Post#`` (Section 6.3 step 2-iii): given interval scores, which
+advisories could the concrete argmin select? An index ``i`` is possible
+unless some other index is *certainly* strictly smaller everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..intervals import Box
+
+
+def possible_argmin(box: Box) -> list[int]:
+    """Indices that could attain the (first-index tie-break) minimum.
+
+    Sound over-approximation: ``i`` is kept iff no ``j`` beats it for
+    every concrete score selection — i.e. ``lo_i <= min_j hi_j``.
+    """
+    lo = box.lo
+    hi = box.hi
+    cutoff = float(np.min(hi))
+    return [i for i in range(box.dim) if lo[i] <= cutoff]
+
+
+def possible_argmax(box: Box) -> list[int]:
+    """Dual of :func:`possible_argmin`."""
+    lo = box.lo
+    hi = box.hi
+    cutoff = float(np.max(lo))
+    return [i for i in range(box.dim) if hi[i] >= cutoff]
+
+
+def certain_argmin(box: Box) -> int | None:
+    """The unique certain minimizer, or None if undetermined."""
+    candidates = possible_argmin(box)
+    if len(candidates) == 1:
+        return candidates[0]
+    return None

@@ -1,0 +1,136 @@
+"""Input-splitting refinement for network property verification.
+
+ReluVal's iterative interval refinement: when the abstract transformer
+cannot decide a property on a box, bisect the box (along the widest or
+the most influential input dimension) and recurse. Concrete samples are
+used to hunt for counterexamples so that hard instances terminate with
+a witness instead of an inconclusive timeout.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..intervals import Box
+from ..nn import Network
+from .properties import OutputProperty
+from .symbolic import SymbolicPropagator
+
+
+class Outcome(enum.Enum):
+    """Verdict of a property verification run."""
+
+    VERIFIED = "verified"
+    FALSIFIED = "falsified"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class VerificationResult:
+    """Outcome plus diagnostics of :func:`verify_property`."""
+
+    outcome: Outcome
+    witness: np.ndarray | None = None
+    regions_verified: int = 0
+    regions_unknown: int = 0
+    deepest_split: int = 0
+    propagations: int = 0
+    unknown_boxes: list[Box] = field(default_factory=list)
+
+    @property
+    def verified(self) -> bool:
+        return self.outcome is Outcome.VERIFIED
+
+
+@dataclass(frozen=True)
+class BisectionSettings:
+    """Tuning for the refinement loop."""
+
+    max_depth: int = 14
+    #: Concrete samples drawn per undecided region to hunt witnesses.
+    samples_per_region: int = 8
+    #: "widest" or "influence" (symbolic-gradient guided) splitting.
+    split_strategy: str = "widest"
+    #: Hard cap on abstract propagations (resource bound).
+    max_propagations: int = 200_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.split_strategy not in ("widest", "influence"):
+            raise ValueError("split_strategy must be 'widest' or 'influence'")
+
+
+def verify_property(
+    network: Network,
+    prop: OutputProperty,
+    propagator=None,
+    settings: BisectionSettings | None = None,
+) -> VerificationResult:
+    """Decide ``prop`` on ``network`` by abstract interpretation plus
+    input bisection. Sound: VERIFIED is only returned when every leaf
+    box was proved; FALSIFIED always carries a concrete witness."""
+    settings = settings or BisectionSettings()
+    propagator = propagator or SymbolicPropagator(network)
+    rng = np.random.default_rng(settings.seed)
+    result = VerificationResult(outcome=Outcome.UNKNOWN)
+
+    stack: list[tuple[Box, int]] = [(prop.input_box, 0)]
+    while stack:
+        box, depth = stack.pop()
+        result.deepest_split = max(result.deepest_split, depth)
+        if result.propagations >= settings.max_propagations:
+            result.regions_unknown += 1
+            result.unknown_boxes.append(box)
+            continue
+        result.propagations += 1
+        output = propagator(box)
+        if prop.holds_on_box(output):
+            result.regions_verified += 1
+            continue
+        # Undecided: look for a concrete counterexample first.
+        witness = _hunt_witness(network, prop, box, rng, settings.samples_per_region)
+        if witness is not None:
+            result.outcome = Outcome.FALSIFIED
+            result.witness = witness
+            return result
+        if depth >= settings.max_depth:
+            result.regions_unknown += 1
+            result.unknown_boxes.append(box)
+            continue
+        dim = _pick_split_dim(box, propagator, settings.split_strategy)
+        left, right = box.bisect(dim)
+        stack.append((left, depth + 1))
+        stack.append((right, depth + 1))
+
+    result.outcome = (
+        Outcome.VERIFIED if result.regions_unknown == 0 else Outcome.UNKNOWN
+    )
+    return result
+
+
+def _hunt_witness(
+    network: Network,
+    prop: OutputProperty,
+    box: Box,
+    rng: np.random.Generator,
+    samples: int,
+) -> np.ndarray | None:
+    candidates = [box.center]
+    if samples > 1:
+        candidates.extend(box.sample(rng, samples - 1))
+    for x in candidates:
+        if not prop.holds_at_point(network.forward(np.asarray(x))):
+            return np.asarray(x)
+    return None
+
+
+def _pick_split_dim(box: Box, propagator, strategy: str) -> int:
+    if strategy == "influence" and hasattr(propagator, "input_gradient_mask"):
+        influence = propagator.input_gradient_mask(box)
+        scores = influence * box.widths
+        if np.max(scores) > 0.0:
+            return int(np.argmax(scores))
+    return box.widest_dim()

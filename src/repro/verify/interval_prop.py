@@ -1,0 +1,42 @@
+"""Naive interval bound propagation (IBP) through ReLU networks.
+
+The simplest sound abstract transformer ``F#``: push an input box
+through each affine layer with interval linear algebra and clamp at each
+ReLU. Fast but loses all input correlations; kept both as a baseline for
+the symbolic propagator (ablation A2 in DESIGN.md) and as a fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..intervals import Box, interval_matvec
+from ..nn import Network
+
+
+def interval_forward(network: Network, input_box: Box) -> Box:
+    """Sound output box of ``network`` over ``input_box`` (plain IBP)."""
+    if input_box.dim != network.input_size:
+        raise ValueError(
+            f"input box has dimension {input_box.dim}, network expects "
+            f"{network.input_size}"
+        )
+    lo, hi = input_box.lo, input_box.hi
+    for w, b in zip(network.weights[:-1], network.biases[:-1]):
+        lo, hi = interval_matvec(w, lo, hi, b)
+        lo = np.maximum(lo, 0.0)
+        hi = np.maximum(hi, 0.0)
+    lo, hi = interval_matvec(network.weights[-1], lo, hi, network.biases[-1])
+    return Box(lo, hi)
+
+
+class IntervalPropagator:
+    """Callable ``F#`` wrapper around :func:`interval_forward`."""
+
+    name = "ibp"
+
+    def __init__(self, network: Network):
+        self.network = network
+
+    def __call__(self, input_box: Box) -> Box:
+        return interval_forward(self.network, input_box)

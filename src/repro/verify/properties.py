@@ -1,0 +1,92 @@
+"""Pre/post-condition properties on networks (Section 2's "local
+behaviours": a precondition box on the input, a postcondition on the
+output), plus builders for the common shapes used in the ACAS Xu
+literature (Reluplex/ReluVal-style phi properties, local robustness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..intervals import Box
+from .argselect import possible_argmin
+
+
+@dataclass(frozen=True)
+class OutputProperty:
+    """A verification property: for all x in ``input_box``,
+    ``holds_at_point(F(x))`` must be true.
+
+    ``holds_on_box(output_box)`` must be a *sound* sufficient check:
+    True only if the postcondition holds for every point of the box.
+    """
+
+    name: str
+    input_box: Box
+    holds_on_box: Callable[[Box], bool]
+    holds_at_point: Callable[[np.ndarray], bool]
+
+
+def output_upper_bound(
+    name: str, input_box: Box, index: int, threshold: float
+) -> OutputProperty:
+    """Property ``y[index] <= threshold`` (e.g. ACAS phi-1 shape)."""
+    return OutputProperty(
+        name=name,
+        input_box=input_box,
+        holds_on_box=lambda out: out[index].hi <= threshold,
+        holds_at_point=lambda y: y[index] <= threshold,
+    )
+
+
+def output_lower_bound(
+    name: str, input_box: Box, index: int, threshold: float
+) -> OutputProperty:
+    """Property ``y[index] >= threshold``."""
+    return OutputProperty(
+        name=name,
+        input_box=input_box,
+        holds_on_box=lambda out: out[index].lo >= threshold,
+        holds_at_point=lambda y: y[index] >= threshold,
+    )
+
+
+def label_not_minimal(name: str, input_box: Box, index: int) -> OutputProperty:
+    """Property "score ``index`` is never the strict minimum"
+    (the shape of ACAS phi-3/phi-4: e.g. COC is never advised)."""
+
+    def on_box(out: Box) -> bool:
+        others_hi = [out[j].hi for j in range(out.dim) if j != index]
+        return min(others_hi) < out[index].lo
+
+    def at_point(y: np.ndarray) -> bool:
+        return int(np.argmin(y)) != index
+
+    return OutputProperty(name, input_box, on_box, at_point)
+
+
+def label_minimal(name: str, input_box: Box, index: int) -> OutputProperty:
+    """Property "score ``index`` is always the minimum selected"."""
+
+    def on_box(out: Box) -> bool:
+        return possible_argmin(out) == [index]
+
+    def at_point(y: np.ndarray) -> bool:
+        return int(np.argmin(y)) == index
+
+    return OutputProperty(name, input_box, on_box, at_point)
+
+
+def local_robustness(
+    name: str, center: np.ndarray, radius: float | np.ndarray, label: int
+) -> OutputProperty:
+    """Adversarial (local) robustness: the argmin classification stays
+    ``label`` throughout the L-inf ball of ``radius`` around ``center``
+    (the property class discussed in Section 2)."""
+    center = np.asarray(center, dtype=float)
+    radius_arr = np.broadcast_to(np.asarray(radius, dtype=float), center.shape)
+    ball = Box(center - radius_arr, center + radius_arr)
+    return label_minimal(name, ball, label)

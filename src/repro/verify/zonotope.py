@@ -1,0 +1,164 @@
+"""Zonotope abstract domain for ReLU networks (AI2/DeepZ style).
+
+A zonotope ``{c + G·eps : eps in [-1, 1]^m}`` is closed under affine
+maps (exactly) and admits a tight ReLU relaxation: for an unstable
+neuron with pre-activation bounds ``[l, u]``,
+
+    relu(x) = lambda*x + delta,   lambda = u/(u-l),  delta in [0, -lambda*l]
+
+so one fresh generator of magnitude ``-lambda*l/2`` captures the
+relaxation error while keeping all input correlations. This is the
+zonotope transformer of AI2 [13] (one of the abstract-interpretation
+engines the paper's related-work section surveys), provided here as a
+third ``F#`` domain alongside IBP and symbolic intervals.
+
+Floating-point soundness: affine maps accumulate a Higham-style error
+bound that is folded into per-neuron *box* generators, and the
+concretization rounds outward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..intervals import Box
+from ..nn import Network
+
+_EPS = np.finfo(float).eps
+_TINY = np.finfo(float).tiny
+
+
+@dataclass
+class Zonotope:
+    """``{center + generators @ eps}`` with ``eps`` in the unit cube.
+
+    ``generators`` has shape ``(n, m)`` for an ``n``-dimensional set
+    with ``m`` noise symbols; ``box_dev`` (shape ``(n,)``, non-negative)
+    is an aggregated axis-aligned deviation term (equivalent to ``n``
+    more generators, kept separately so error accumulation never grows
+    the generator matrix).
+    """
+
+    center: np.ndarray
+    generators: np.ndarray
+    box_dev: np.ndarray
+
+    @staticmethod
+    def from_box(box: Box) -> "Zonotope":
+        center = box.center
+        radii = box.radii
+        return Zonotope(
+            center=center.copy(),
+            generators=np.diag(radii),
+            box_dev=np.zeros(box.dim),
+        )
+
+    @property
+    def dim(self) -> int:
+        return self.center.shape[0]
+
+    @property
+    def num_generators(self) -> int:
+        return self.generators.shape[1]
+
+    def deviation(self) -> np.ndarray:
+        """Per-dimension total deviation radius (rounded up)."""
+        dev = np.abs(self.generators).sum(axis=1) + self.box_dev
+        # Summation rounding slack.
+        slack = (self.num_generators + 2) * _EPS * dev + _TINY
+        return dev + slack
+
+    def to_box(self) -> Box:
+        dev = self.deviation()
+        return Box(
+            np.nextafter(self.center - dev, -np.inf),
+            np.nextafter(self.center + dev, np.inf),
+        )
+
+    def affine(self, weights: np.ndarray, bias: np.ndarray) -> "Zonotope":
+        """Exact affine image plus a sound rounding-error term."""
+        new_center = weights @ self.center + bias
+        new_generators = weights @ self.generators
+        abs_w = np.abs(weights)
+        new_box_dev = abs_w @ self.box_dev
+        # Rounding bound for the matvecs, proportional to the operand
+        # magnitudes (see repro.intervals.linalg).
+        n_terms = weights.shape[1] + 2
+        gamma = 2.0 * n_terms * _EPS / (1.0 - n_terms * _EPS)
+        magnitude = (
+            abs_w @ (np.abs(self.center) + np.abs(self.generators).sum(axis=1) + self.box_dev)
+            + np.abs(bias)
+        )
+        new_box_dev = new_box_dev + gamma * magnitude + _TINY
+        return Zonotope(new_center, new_generators, new_box_dev)
+
+    def relu(self) -> "Zonotope":
+        """The DeepZ ReLU transformer."""
+        box = self.to_box()
+        lo, hi = box.lo, box.hi
+        inactive = hi <= 0.0
+        active = lo >= 0.0
+        unstable = ~inactive & ~active
+
+        lam = np.ones(self.dim)
+        lam[inactive] = 0.0
+        shift = np.zeros(self.dim)
+        new_dev = np.zeros(self.dim)
+        if np.any(unstable):
+            l = lo[unstable]
+            u = hi[unstable]
+            lam_u = u / (u - l)
+            lam_u = np.nextafter(lam_u, np.inf)
+            beta = np.nextafter(-lam_u * l / 2.0, np.inf)
+            lam[unstable] = lam_u
+            shift[unstable] = beta
+            new_dev[unstable] = beta * (1.0 + 8.0 * _EPS) + _TINY
+
+        center = lam * self.center + shift
+        generators = lam[:, None] * self.generators
+        box_dev = lam * self.box_dev + new_dev
+        # Rounding slack of the scaling itself.
+        box_dev = box_dev + 4.0 * _EPS * (np.abs(center) + np.abs(generators).sum(axis=1)) + _TINY
+        return Zonotope(center, generators, box_dev)
+
+    def reduce_order(self, max_generators: int) -> "Zonotope":
+        """Merge the smallest generators into the box term (Girard-style
+        order reduction) so long propagations stay bounded."""
+        if self.num_generators <= max_generators:
+            return self
+        norms = np.abs(self.generators).sum(axis=0)
+        keep = np.argsort(norms)[-max_generators:]
+        drop = np.setdiff1d(np.arange(self.num_generators), keep)
+        absorbed = np.abs(self.generators[:, drop]).sum(axis=1)
+        # The inflation must dominate the summation slack the *full*
+        # zonotope would have carried for the dropped columns.
+        slack_factor = 1.0 + (len(drop) + 8) * _EPS
+        return Zonotope(
+            self.center,
+            self.generators[:, keep],
+            self.box_dev + absorbed * slack_factor + _TINY,
+        )
+
+
+class ZonotopePropagator:
+    """Callable ``F#`` using the zonotope domain."""
+
+    name = "zonotope"
+
+    def __init__(self, network: Network, max_generators: int = 256):
+        self.network = network
+        self.max_generators = max_generators
+
+    def __call__(self, input_box: Box) -> Box:
+        if input_box.dim != self.network.input_size:
+            raise ValueError(
+                f"input box has dimension {input_box.dim}, network expects "
+                f"{self.network.input_size}"
+            )
+        zono = Zonotope.from_box(input_box)
+        for w, b in zip(self.network.weights[:-1], self.network.biases[:-1]):
+            zono = zono.affine(w, b).relu().reduce_order(self.max_generators)
+        zono = zono.affine(self.network.weights[-1], self.network.biases[-1])
+        return zono.to_box()

@@ -1,0 +1,31 @@
+"""Shared ACAS Xu fixtures: test-scale tables/networks, cached per run.
+
+The tiny configuration keeps the full structure (5 tables, 5 networks,
+same Pre/Post wiring) at a fraction of the capacity so the suite stays
+fast. The trained bank is cached on disk under the repository's .cache
+directory (keyed by config), so repeated test runs skip training.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+os.environ.setdefault("REPRO_CACHE", str(Path(__file__).resolve().parents[2] / ".cache"))
+
+from repro.acasxu import (  # noqa: E402 (env var must be set first)
+    TINY_SCENARIO,
+    TINY_TABLE_CONFIG,
+    build_system,
+    generate_tables,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_tables():
+    return generate_tables(TINY_TABLE_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_system():
+    return build_system(TINY_SCENARIO)

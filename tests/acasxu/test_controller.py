@@ -1,0 +1,152 @@
+"""Tests for the neural ACAS Xu controller: Pre/Pre#, networks, Post#."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.acasxu import (
+    ADVISORIES,
+    INPUT_MEANS,
+    INPUT_RANGES,
+    AcasPre,
+    TURN_RATES_DEG,
+    build_controller,
+    command_set,
+    normalize_inputs,
+)
+from repro.intervals import Box
+from repro.nn import Network
+
+
+class TestCommandSet:
+    def test_five_advisories(self):
+        commands = command_set()
+        assert len(commands) == 5
+        assert commands.names == list(ADVISORIES)
+
+    def test_turn_rates_in_radians(self):
+        commands = command_set()
+        for i, deg in enumerate(TURN_RATES_DEG):
+            assert commands.value(i)[0] == pytest.approx(math.radians(deg))
+
+    def test_coc_is_zero(self):
+        assert command_set().value(0)[0] == 0.0
+
+
+class TestNormalization:
+    def test_centered_at_means(self):
+        assert np.allclose(normalize_inputs(INPUT_MEANS), np.zeros(5))
+
+    def test_scale(self):
+        raw = INPUT_MEANS + INPUT_RANGES
+        assert np.allclose(normalize_inputs(raw), np.ones(5))
+
+
+class TestAcasPreConcrete:
+    def test_head_on_input(self):
+        pre = AcasPre()
+        state = np.array([0.0, 8000.0, math.pi, 700.0, 600.0])
+        x = pre.concrete(state)
+        raw = x * INPUT_RANGES + INPUT_MEANS
+        assert raw[0] == pytest.approx(8000.0)  # rho
+        assert raw[1] == pytest.approx(0.0, abs=1e-12)  # theta: dead ahead
+        assert raw[2] == pytest.approx(math.pi)
+        assert raw[3] == pytest.approx(700.0)
+        assert raw[4] == pytest.approx(600.0)
+
+    def test_left_bearing_positive(self):
+        pre = AcasPre()
+        x = pre.concrete(np.array([-1000.0, 1000.0, 0.0, 700.0, 600.0]))
+        theta = x[1] * INPUT_RANGES[1] + INPUT_MEANS[1]
+        assert theta == pytest.approx(math.pi / 4.0)
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError):
+            AcasPre("zonotope")
+
+
+class TestAcasPreAbstract:
+    @pytest.mark.parametrize("mode", ["interval", "affine"])
+    def test_contains_concrete(self, mode):
+        pre = AcasPre(mode)
+        box = Box(
+            [-500.0, 7000.0, 2.9, 700.0, 600.0],
+            [500.0, 8000.0, 3.2, 700.0, 600.0],
+        )
+        out = pre.abstract(box)
+        rng = np.random.default_rng(3)
+        for s in box.sample(rng, 100):
+            assert out.contains_point(pre.concrete(s))
+
+    @pytest.mark.parametrize("mode", ["interval", "affine"])
+    def test_behind_ownship_branch_cut(self, mode):
+        """Boxes behind the ownship straddle the atan2 branch cut; the
+        transformer must stay sound (it falls back to [-pi, pi])."""
+        pre = AcasPre(mode)
+        box = Box(
+            [-200.0, -6000.0, 0.0, 700.0, 600.0],
+            [200.0, -5000.0, 0.2, 700.0, 600.0],
+        )
+        out = pre.abstract(box)
+        rng = np.random.default_rng(4)
+        for s in box.sample(rng, 50):
+            assert out.contains_point(pre.concrete(s))
+
+    def test_affine_not_looser_than_interval(self):
+        """The affine Pre# intersects with the interval result, so it
+        can only be tighter."""
+        box = Box(
+            [1000.0, 3000.0, 1.0, 700.0, 600.0],
+            [1400.0, 3500.0, 1.2, 700.0, 600.0],
+        )
+        iv = AcasPre("interval").abstract(box)
+        af = AcasPre("affine").abstract(box)
+        for i in range(5):
+            assert af[i].width <= iv[i].width * (1.0 + 1e-9)
+
+
+class TestBuildController:
+    def _networks(self):
+        rng = np.random.default_rng(0)
+        return [Network.random([5, 8, 5], rng) for _ in range(5)]
+
+    def test_wrong_count_raises(self):
+        with pytest.raises(ValueError):
+            build_controller(self._networks()[:3])
+
+    def test_lambda_is_identity(self):
+        controller = build_controller(self._networks())
+        for i in range(5):
+            assert controller.selector(i) == i
+
+    def test_execute_returns_valid_advisory(self):
+        controller = build_controller(self._networks())
+        state = np.array([0.0, 8000.0, math.pi, 700.0, 600.0])
+        for prev in range(5):
+            assert 0 <= controller.execute(state, prev) < 5
+
+    def test_abstract_execution_sound(self, tiny_system):
+        """Pre# + F# + Post# covers the concrete controller on boxes."""
+        controller = tiny_system.controller
+        box = Box(
+            [-400.0, 7400.0, 2.8, 700.0, 600.0],
+            [400.0, 8000.0, 3.3, 700.0, 600.0],
+        )
+        for prev in range(5):
+            reachable = controller.execute_abstract(box, prev)
+            rng = np.random.default_rng(10 + prev)
+            for s in box.sample(rng, 40):
+                assert controller.execute(s, prev) in reachable
+
+    def test_small_box_often_decided(self, tiny_system):
+        """On a tight box away from decision boundaries Post# should
+        usually give a single command."""
+        controller = tiny_system.controller
+        # A clear, close threat straight ahead.
+        box = Box(
+            [-20.0, 3990.0, 3.10, 700.0, 600.0],
+            [20.0, 4030.0, 3.14, 700.0, 600.0],
+        )
+        reachable = controller.execute_abstract(box, 0)
+        assert len(reachable) <= 3

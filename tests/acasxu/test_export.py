@@ -1,0 +1,53 @@
+"""Tests for the .nnet bank export/import."""
+
+import numpy as np
+import pytest
+
+from repro.acasxu import ADVISORIES, normalize_inputs
+from repro.acasxu.export import bank_metadata, export_bank, import_bank
+from repro.nn import Network
+
+
+@pytest.fixture
+def bank():
+    rng = np.random.default_rng(0)
+    return [Network.random([5, 8, 8, 5], rng) for _ in range(5)]
+
+
+class TestExportImport:
+    def test_roundtrip_same_functions(self, bank, tmp_path):
+        paths = export_bank(bank, tmp_path)
+        assert len(paths) == 5
+        for advisory in ADVISORIES:
+            assert (tmp_path / f"ACASXU_repro_{advisory}.nnet").exists()
+        loaded = import_bank(tmp_path)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(20, 5))
+        for original, copy in zip(bank, loaded):
+            assert np.allclose(
+                original.forward_batch(x), copy.forward_batch(x), atol=1e-12
+            )
+
+    def test_wrong_bank_size_rejected(self, bank, tmp_path):
+        with pytest.raises(ValueError):
+            export_bank(bank[:3], tmp_path)
+
+    def test_missing_member_detected(self, bank, tmp_path):
+        export_bank(bank, tmp_path)
+        (tmp_path / "ACASXU_repro_WL.nnet").unlink()
+        with pytest.raises(FileNotFoundError):
+            import_bank(tmp_path)
+
+    def test_metadata_matches_controller_normalization(self):
+        """Normalizing through the .nnet metadata must equal the
+        controller's own Pre normalization."""
+        metadata = bank_metadata()
+        raw = np.array([4000.0, 0.5, -1.0, 700.0, 600.0])
+        via_metadata = metadata.normalize_input(raw)
+        via_controller = normalize_inputs(raw)
+        assert np.allclose(via_metadata, via_controller)
+
+    def test_metadata_output_identity(self):
+        metadata = bank_metadata()
+        scores = np.array([1.0, -2.0, 0.5, 3.0, -1.5])
+        assert np.allclose(metadata.denormalize_output(scores), scores)

@@ -1,0 +1,179 @@
+"""Tests for the Section 8 multi-UAV extension."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.integrate import solve_ivp
+
+from repro.acasxu.multi_uav import (
+    MULTI_UAV_ODE,
+    MultiUavController,
+    build_multi_uav_system,
+    joint_command_set,
+    mirror_box,
+    mirror_state,
+    multi_uav_rhs,
+    pair_index,
+    split_pair,
+)
+from repro.intervals import Box
+
+
+class TestJointCommands:
+    def test_product_size(self):
+        commands = joint_command_set()
+        assert len(commands) == 25
+        assert commands.dim == 2
+
+    def test_pair_index_roundtrip(self):
+        for own in range(5):
+            for intruder in range(5):
+                assert split_pair(pair_index(own, intruder)) == (own, intruder)
+
+    def test_names(self):
+        commands = joint_command_set()
+        assert commands.name(pair_index(0, 0)) == "COC/COC"
+        assert commands.name(pair_index(3, 4)) == "SL/SR"
+
+
+class TestDynamics:
+    def test_reduces_to_single_agent_when_intruder_straight(self):
+        from repro.acasxu import acasxu_rhs
+
+        s = [100.0, 5000.0, 2.0, 700.0, 600.0]
+        single = acasxu_rhs(0.0, s, np.array([0.03]))
+        double = multi_uav_rhs(0.0, s, np.array([0.03, 0.0]))
+        assert np.allclose(single, double)
+
+    def test_intruder_turn_changes_relative_heading(self):
+        s = [100.0, 5000.0, 2.0, 700.0, 600.0]
+        ds = multi_uav_rhs(0.0, s, np.array([0.0, 0.05]))
+        assert ds[2] == pytest.approx(0.05)
+
+    def test_taylor_integration_contains_scipy(self):
+        from repro.ode import IntegratorSettings, TaylorIntegrator
+
+        u = np.array([0.03, -0.05])
+        box = Box(
+            [-50.0, 4950.0, 1.95, 700.0, 600.0],
+            [50.0, 5050.0, 2.05, 700.0, 600.0],
+        )
+        integrator = TaylorIntegrator(MULTI_UAV_ODE, IntegratorSettings(order=5))
+        pipe = integrator.integrate(0.0, 1.0, box, u, substeps=4)
+        rng = np.random.default_rng(0)
+        for s0 in box.sample(rng, 5):
+            ref = solve_ivp(
+                lambda t, s: multi_uav_rhs(t, s, u),
+                (0.0, 1.0),
+                s0,
+                rtol=1e-10,
+                atol=1e-12,
+            ).y[:, -1]
+            assert pipe.end_box.contains_point(ref)
+
+
+class TestMirror:
+    def test_involution(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            s = np.array(
+                [
+                    rng.uniform(-8000, 8000),
+                    rng.uniform(-8000, 8000),
+                    rng.uniform(-3, 3),
+                    700.0,
+                    600.0,
+                ]
+            )
+            back = mirror_state(mirror_state(s))
+            assert np.allclose(back, s, atol=1e-9)
+
+    def test_head_on_symmetry(self):
+        # Dead ahead and head-on: each aircraft sees the same picture.
+        s = np.array([0.0, 5000.0, math.pi, 700.0, 700.0])
+        mirrored = mirror_state(s)
+        assert mirrored[0] == pytest.approx(0.0, abs=1e-9)
+        assert mirrored[1] == pytest.approx(5000.0)
+        assert abs(mirrored[2]) == pytest.approx(math.pi)
+
+    def test_speed_roles_swap(self):
+        s = np.array([100.0, 2000.0, 1.0, 700.0, 600.0])
+        mirrored = mirror_state(s)
+        assert mirrored[3] == 600.0
+        assert mirrored[4] == 700.0
+
+    def test_mirror_box_contains_mirrored_points(self):
+        box = Box(
+            [-200.0, 4800.0, 1.8, 700.0, 600.0],
+            [200.0, 5200.0, 2.2, 700.0, 600.0],
+        )
+        out = mirror_box(box)
+        rng = np.random.default_rng(2)
+        for s in box.sample(rng, 100):
+            assert out.contains_point(mirror_state(s))
+
+
+class TestController:
+    def test_wrong_bank_size_raises(self):
+        from repro.nn import Network
+
+        nets = [Network.random([5, 4, 5], np.random.default_rng(0))] * 3
+        with pytest.raises(ValueError):
+            MultiUavController(nets)
+
+    def test_abstract_contains_concrete(self, tiny_acas):
+        controller = MultiUavController(tiny_acas.controller.networks)
+        box = Box(
+            [-300.0, 6800.0, 2.9, 700.0, 600.0],
+            [300.0, 7400.0, 3.2, 700.0, 600.0],
+        )
+        prev = pair_index(0, 0)
+        reachable = controller.execute_abstract(box, prev)
+        rng = np.random.default_rng(3)
+        for s in box.sample(rng, 30):
+            assert controller.execute(s, prev) in reachable
+
+    def test_abstract_is_a_product(self, tiny_acas):
+        controller = MultiUavController(tiny_acas.controller.networks)
+        box = Box(
+            [-300.0, 6800.0, 2.9, 700.0, 600.0],
+            [300.0, 7400.0, 3.2, 700.0, 600.0],
+        )
+        reachable = controller.execute_abstract(box, pair_index(0, 0))
+        owns = {split_pair(i)[0] for i in reachable}
+        ints = {split_pair(i)[1] for i in reachable}
+        assert len(reachable) == len(owns) * len(ints)
+
+
+class TestSystem:
+    def test_build_and_prove_benign_box(self, tiny_acas):
+        from repro.acasxu import TINY_SCENARIO
+        from repro.core import ReachSettings, Verdict, reach_from_box
+
+        system = build_multi_uav_system(TINY_SCENARIO, horizon_steps=8)
+        assert len(system.commands) == 25
+        benign = Box(
+            [-20.0, -7920.0, -0.01, 700.0, 600.0],
+            [20.0, -7880.0, 0.01, 700.0, 600.0],
+        )
+        result = reach_from_box(
+            system,
+            benign,
+            pair_index(0, 0),
+            ReachSettings(substeps=4, max_symbolic_states=30),
+        )
+        assert result.verdict is Verdict.PROVED_SAFE
+
+    def test_gamma_must_cover_joint_commands(self, tiny_acas):
+        from repro.acasxu import TINY_SCENARIO
+        from repro.core import ReachSettings, reach_from_box
+
+        system = build_multi_uav_system(TINY_SCENARIO, horizon_steps=4)
+        with pytest.raises(ValueError):
+            reach_from_box(
+                system,
+                Box.from_point([0.0, -7900.0, 0.0, 700.0, 600.0]),
+                pair_index(0, 0),
+                ReachSettings(max_symbolic_states=5),
+            )

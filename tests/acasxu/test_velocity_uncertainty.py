@@ -1,0 +1,72 @@
+"""Tests for the velocity-uncertainty extension (beyond the paper's
+fixed-speed simplification)."""
+
+import numpy as np
+import pytest
+
+from repro.acasxu import initial_cells
+from repro.core import ReachSettings, Verdict, reach_from_box
+
+
+class TestVelocityIntervals:
+    def test_default_is_paper_fixed_speeds(self):
+        box, _c, _t = initial_cells(4, 2)[0]
+        assert box.widths[3] == 0.0
+        assert box.widths[4] == 0.0
+
+    def test_uncertainty_widens_velocity_dims(self):
+        box, _c, _t = initial_cells(4, 2, velocity_uncertainty=25.0)[0]
+        assert box.widths[3] == pytest.approx(50.0)
+        assert box.widths[4] == pytest.approx(50.0)
+        assert box[3].contains(700.0)
+        assert box[4].contains(600.0)
+
+    def test_negative_uncertainty_rejected(self):
+        with pytest.raises(ValueError):
+            initial_cells(4, 2, velocity_uncertainty=-1.0)
+
+    def test_flow_sound_under_velocity_intervals(self, tiny_acas):
+        """The analytic flow handles interval speeds soundly."""
+        box, command, _t = initial_cells(24, 6, velocity_uncertainty=20.0)[37]
+        u = tiny_acas.commands.value(command)
+        pipe = tiny_acas.plant.flow(0.0, 1.0, box, u, 4)
+        rng = np.random.default_rng(0)
+        flow = tiny_acas.plant.integrator
+        for s0 in box.sample(rng, 30):
+            end = flow.flow_point(s0, u, 1.0)
+            assert pipe.end_box.contains_point(end)
+
+    def test_reachability_runs_with_velocity_intervals(self, tiny_acas):
+        """End-to-end: the procedure accepts 5-D-uncertain cells and
+        produces a verdict; small uncertainty must not crash or loop."""
+        cells = initial_cells(24, 6, velocity_uncertainty=5.0)
+        box, command, _tags = cells[3]
+        result = reach_from_box(
+            tiny_acas,
+            box,
+            command,
+            ReachSettings(substeps=10, max_symbolic_states=5),
+        )
+        assert result.verdict in (
+            Verdict.PROVED_SAFE,
+            Verdict.SAFE_WITHIN_HORIZON,
+            Verdict.POSSIBLY_UNSAFE,
+        )
+        assert result.steps_completed >= 1
+
+    def test_more_uncertainty_never_easier(self, tiny_acas):
+        """If the uncertain cell proves safe, the fixed-speed sub-cell
+        must too (monotonicity of the over-approximation)."""
+        settings = ReachSettings(substeps=10, max_symbolic_states=5)
+        cells_fixed = initial_cells(24, 6)
+        cells_uncertain = initial_cells(24, 6, velocity_uncertainty=10.0)
+        checked = 0
+        for (fixed, cmd, _), (wide, _c2, _t2) in list(
+            zip(cells_fixed, cells_uncertain)
+        )[:8]:
+            wide_result = reach_from_box(tiny_acas, wide, cmd, settings)
+            if wide_result.verdict is Verdict.PROVED_SAFE:
+                fixed_result = reach_from_box(tiny_acas, fixed, cmd, settings)
+                assert fixed_result.verdict is Verdict.PROVED_SAFE
+                checked += 1
+        assert checked >= 1

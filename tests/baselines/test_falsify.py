@@ -1,0 +1,138 @@
+"""Tests for the falsification search."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    cross_entropy_falsification,
+    min_distance_robustness,
+    random_falsification,
+    simulate,
+)
+from repro.intervals import Box
+from tests.core.fixtures import make_system, runaway_network
+
+
+def decode_1d(params):
+    return np.array([params[0]]), 0
+
+
+class TestRandomFalsification:
+    def test_finds_counterexample_in_unsafe_system(self):
+        system = make_system(network=runaway_network(), horizon_steps=8)
+        result = random_falsification(
+            system, Box([1.0], [3.0]), decode_1d, trials=20
+        )
+        assert result.falsified
+        assert result.witness is not None
+        assert result.witness.reached_error
+        assert result.witness_params is not None
+
+    def test_no_counterexample_in_safe_system(self):
+        system = make_system()  # regulates toward 0, error at |s| >= 5
+        result = random_falsification(
+            system, Box([1.0], [3.0]), decode_1d, trials=30
+        )
+        assert not result.falsified
+        assert result.witness is None
+        assert result.trajectories_run == 30
+
+    def test_stops_at_first_witness(self):
+        system = make_system(network=runaway_network(), horizon_steps=8)
+        result = random_falsification(
+            system, Box([2.0], [2.1]), decode_1d, trials=100
+        )
+        assert result.falsified
+        assert result.trajectories_run < 100
+
+
+class TestCrossEntropy:
+    def test_guided_search_converges(self):
+        """Only a narrow parameter slice is unsafe; CE should find it
+        where pure chance might not."""
+        system = make_system(
+            network=runaway_network(), horizon_steps=4, error_bound=6.3
+        )
+        # From s0 the runaway controller climbs ~1 per period; only
+        # s0 near the top of the range reaches 6.3 within 4 periods.
+        box = Box([-2.0], [2.5])
+        result = cross_entropy_falsification(
+            system,
+            box,
+            decode_1d,
+            population=20,
+            elites=5,
+            generations=8,
+            robustness=lambda tr: 6.3 - float(np.max(np.abs(tr.states[:, 0]))),
+        )
+        assert result.falsified
+        assert result.witness_params[0] > 2.0
+
+    def test_validation(self):
+        system = make_system()
+        with pytest.raises(ValueError):
+            cross_entropy_falsification(
+                system, Box([0.0], [1.0]), decode_1d, population=5, elites=1
+            )
+
+    def test_best_robustness_tracked_when_safe(self):
+        system = make_system()
+        result = cross_entropy_falsification(
+            system,
+            Box([1.0], [2.0]),
+            decode_1d,
+            population=10,
+            elites=3,
+            generations=2,
+            robustness=lambda tr: 5.0 - float(np.max(np.abs(tr.states[:, 0]))),
+        )
+        assert not result.falsified
+        assert np.isfinite(result.best_robustness)
+        assert result.best_params is not None
+
+
+class TestAcasFalsification:
+    def test_min_distance_robustness(self, tiny_acas):
+        from repro.acasxu import sample_initial_state
+
+        rng = np.random.default_rng(0)
+        trajectory = simulate(tiny_acas, sample_initial_state(rng), 0)
+        rob = min_distance_robustness((0, 1), 500.0)(trajectory)
+        # Robustness equals min distance minus the collision radius.
+        distances = np.hypot(trajectory.states[:, 0], trajectory.states[:, 1])
+        assert rob == pytest.approx(float(distances.min()) - 500.0)
+
+    def test_falsifier_on_acas_cells(self, tiny_acas):
+        """The tiny network bank has known-unsafe encounter geometries;
+        the guided falsifier should produce a witness."""
+        import math
+
+        from repro.acasxu import SENSOR_RANGE_FT
+
+        def decode(params):
+            phi, delta = params
+            psi = (phi + math.pi + delta + math.pi) % (2 * math.pi) - math.pi
+            state = np.array(
+                [
+                    -SENSOR_RANGE_FT * math.sin(phi),
+                    SENSOR_RANGE_FT * math.cos(phi),
+                    psi,
+                    700.0,
+                    600.0,
+                ]
+            )
+            return state, 0
+
+        result = cross_entropy_falsification(
+            tiny_acas,
+            Box([-math.pi, -1.4], [math.pi, 1.4]),
+            decode,
+            robustness=min_distance_robustness((0, 1), 500.0),
+            population=30,
+            elites=6,
+            generations=6,
+            samples_per_period=4,
+        )
+        # The tiny bank mis-handles some encounters (measured ~4% of
+        # random geometries), so the guided search should find one.
+        assert result.best_robustness < 200.0

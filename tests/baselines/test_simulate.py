@@ -1,0 +1,69 @@
+"""Tests for the concrete closed-loop simulator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import simulate
+from tests.core.fixtures import make_system, runaway_network
+
+
+class TestSimulate:
+    def test_regulation_run_terminates_safely(self):
+        system = make_system()
+        trajectory = simulate(system, np.array([2.1]), 1)
+        assert trajectory.terminated
+        assert not trajectory.reached_error
+        assert trajectory.termination_time is not None
+        # Walked down from 2.1 toward the attractor.
+        assert trajectory.states[-1, 0] < 2.1
+
+    def test_runaway_run_reaches_error(self):
+        system = make_system(network=runaway_network(), horizon_steps=8)
+        trajectory = simulate(system, np.array([2.1]), 0)
+        assert trajectory.reached_error
+        assert trajectory.error_time is not None
+
+    def test_stop_on_error_truncates(self):
+        system = make_system(network=runaway_network(), horizon_steps=8)
+        full = simulate(system, np.array([2.1]), 0)
+        stopped = simulate(system, np.array([2.1]), 0, stop_on_error=True)
+        assert stopped.duration <= full.duration
+        assert stopped.reached_error
+
+    def test_fine_sampling_within_period(self):
+        system = make_system(target="none", horizon_steps=2)
+        trajectory = simulate(system, np.array([2.0]), 1, samples_per_period=4)
+        # 2 periods x 4 samples + initial point.
+        assert len(trajectory.times) == 9
+        # s(t) = 2 - t during the first period (command "down").
+        assert trajectory.states[1, 0] == pytest.approx(2.0 - 0.25, abs=1e-6)
+
+    def test_commands_recorded_per_period(self):
+        system = make_system(target="none", horizon_steps=3)
+        trajectory = simulate(system, np.array([2.0]), 1)
+        assert trajectory.commands[0] == 1
+        assert len(trajectory.commands) == 3
+
+    def test_zero_order_hold_delay(self):
+        """The command chosen at step j only acts from step j+1."""
+        system = make_system(target="none", horizon_steps=2)
+        # Start with command "up" (+1) at s=2: the controller wants
+        # "down", but the first period must still integrate +1.
+        trajectory = simulate(system, np.array([2.0]), 0)
+        assert trajectory.states[1, 0] > 2.0  # still climbing in period 0
+        assert trajectory.commands == [0, 1]
+
+    def test_invalid_sampling_raises(self):
+        system = make_system()
+        with pytest.raises(ValueError):
+            simulate(system, np.array([2.0]), 1, samples_per_period=0)
+
+    def test_acasxu_simulation(self, tiny_acas):
+        from repro.acasxu import sample_initial_state
+
+        rng = np.random.default_rng(0)
+        trajectory = simulate(tiny_acas, sample_initial_state(rng), 0)
+        assert trajectory.states.shape[1] == 5
+        # Velocities stay constant along the run.
+        assert np.allclose(trajectory.states[:, 3], 700.0)
+        assert np.allclose(trajectory.states[:, 4], 600.0)

@@ -1,0 +1,19 @@
+"""Repository-wide test fixtures.
+
+Sets a repo-local cache directory for trained ACAS networks (so CI and
+local runs are hermetic) and exposes the shared test-scale ACAS system.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+os.environ.setdefault("REPRO_CACHE", str(Path(__file__).resolve().parents[1] / ".cache"))
+
+
+@pytest.fixture(scope="session")
+def tiny_acas():
+    from repro.acasxu import TINY_SCENARIO, build_system
+
+    return build_system(TINY_SCENARIO)

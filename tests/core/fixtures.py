@@ -1,0 +1,77 @@
+"""A tiny, analytically predictable closed-loop system for core tests.
+
+Plant: 1-D integrator ``s' = u`` with commands U = {+1, -1}.
+Controller: a single affine "network" scoring ``(s, -s)``; argmin picks
++1 when s < 0 and -1 when s > 0, i.e. bang-bang regulation toward 0.
+From s0 in [2.0, 2.2] the loop walks down by ~1 per period, dithers
+inside [-1, 1], and the target set |s| <= 1.5 behaves as an attractor.
+"""
+
+import numpy as np
+
+from repro.core import (
+    ArgminPost,
+    ClosedLoopSystem,
+    CommandSet,
+    Controller,
+    IdentityPre,
+    Plant,
+)
+from repro.intervals import Box
+from repro.nn import Network
+from repro.ode import ODESystem, TaylorIntegrator
+from repro.sets import BoxSet, EmptySet, UnionSet
+
+
+def integrator_rhs(t, s, u):
+    """1-D integrator plant: s' = u."""
+    return [0.0 * s[0] + float(u[0])]
+
+
+def regulation_network() -> Network:
+    """Scores (s, -s): argmin selects +1 for s<0, -1 for s>0."""
+    return Network([np.array([[1.0], [-1.0]])], [np.zeros(2)])
+
+
+def runaway_network() -> Network:
+    """Scores (-s, s): argmin selects +1 for s>0 (drives away from 0)."""
+    return Network([np.array([[-1.0], [1.0]])], [np.zeros(2)])
+
+
+def make_system(
+    network: Network | None = None,
+    horizon_steps: int = 8,
+    target="attractor",
+    error_bound: float = 5.0,
+) -> ClosedLoopSystem:
+    commands = CommandSet(np.array([[1.0], [-1.0]]), names=["up", "down"])
+    controller = Controller(
+        networks=[network or regulation_network()],
+        commands=commands,
+        pre=IdentityPre(),
+        post=ArgminPost(),
+        selector=lambda command: 0,
+    )
+    system = ODESystem(rhs=integrator_rhs, dim=1, name="integrator")
+    plant = Plant(system, TaylorIntegrator(system))
+    erroneous = UnionSet(
+        [
+            BoxSet(Box([error_bound], [np.inf])),
+            BoxSet(Box([-np.inf], [-error_bound])),
+        ]
+    )
+    if target == "attractor":
+        target_set = BoxSet(Box([-1.5], [1.5]))
+    elif target == "none":
+        target_set = EmptySet()
+    else:
+        target_set = target
+    return ClosedLoopSystem(
+        plant=plant,
+        controller=controller,
+        period=1.0,
+        erroneous=erroneous,
+        target=target_set,
+        horizon_steps=horizon_steps,
+        name="test-integrator-loop",
+    )

@@ -1,0 +1,107 @@
+"""Tests for checkpointed (resumable) partition verification."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    grid_partition,
+    load_journal,
+    verify_partition,
+    verify_partition_checkpointed,
+)
+from repro.intervals import Box
+
+from .fixtures import make_system
+
+
+def cells():
+    return [(box, 1, {"idx": i}) for i, box in enumerate(
+        grid_partition(Box([1.6], [2.4]), [4])
+    )]
+
+
+class TestCheckpointing:
+    def test_first_run_matches_plain_runner(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        factory = lambda: make_system()
+        checkpointed = verify_partition_checkpointed(factory, cells(), journal)
+        plain = verify_partition(factory, cells())
+        assert checkpointed.total_cells == plain.total_cells
+        assert checkpointed.coverage_percent() == pytest.approx(
+            plain.coverage_percent()
+        )
+        assert journal.exists()
+        assert len(load_journal(journal)) == 4
+
+    def test_resume_skips_finished_cells(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        calls = {"count": 0}
+
+        def factory():
+            calls["count"] += 1
+            return make_system()
+
+        verify_partition_checkpointed(factory, cells(), journal)
+        assert calls["count"] == 1
+        # Second run: everything cached, the system is never rebuilt.
+        report = verify_partition_checkpointed(factory, cells(), journal)
+        assert calls["count"] == 1
+        assert report.total_cells == 4
+        assert report.coverage_percent() == pytest.approx(100.0)
+
+    def test_partial_journal_resumes_remaining(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        all_cells = cells()
+        verify_partition_checkpointed(
+            lambda: make_system(), all_cells[:2], journal
+        )
+        assert len(load_journal(journal)) == 2
+        report = verify_partition_checkpointed(
+            lambda: make_system(), all_cells, journal
+        )
+        assert report.total_cells == 4
+        assert len(load_journal(journal)) == 4
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        verify_partition_checkpointed(lambda: make_system(), cells()[:2], journal)
+        with open(journal, "a") as handle:
+            handle.write('{"key": "torn')  # simulated crash mid-write
+        finished = load_journal(journal)
+        assert len(finished) == 2
+        # And the runner recovers, re-verifying only what is missing.
+        report = verify_partition_checkpointed(
+            lambda: make_system(), cells(), journal
+        )
+        assert report.total_cells == 4
+
+    def test_changed_partition_invalidates_entries(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        verify_partition_checkpointed(lambda: make_system(), cells(), journal)
+        shifted = [(Box([3.0], [3.2]), 1)]
+        report = verify_partition_checkpointed(
+            lambda: make_system(), shifted, journal
+        )
+        # The shifted cell was not in the journal: it got verified anew.
+        assert report.total_cells == 1
+        assert len(load_journal(journal)) == 5
+
+    def test_progress_callback(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        seen = []
+        verify_partition_checkpointed(
+            lambda: make_system(),
+            cells(),
+            journal,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen[-1] == (4, 4)
+
+    def test_tags_preserved_on_resume(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        verify_partition_checkpointed(lambda: make_system(), cells(), journal)
+        report = verify_partition_checkpointed(
+            lambda: make_system(), cells(), journal
+        )
+        assert report.cells[2].tags["idx"] == 2

@@ -1,0 +1,109 @@
+"""Tests for the runtime safe-region monitor (Section 7.2 suggestion)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CellResult,
+    MonitorAdvice,
+    RuntimeMonitor,
+    SwitchingController,
+    Verdict,
+    VerificationReport,
+)
+from repro.intervals import Box
+
+from .fixtures import make_system
+
+
+@pytest.fixture
+def report():
+    proved = CellResult(
+        cell_id="safe",
+        box=Box([1.0], [2.0]),
+        command=1,
+        verdict=Verdict.PROVED_SAFE,
+    )
+    unproved = CellResult(
+        cell_id="unsafe",
+        box=Box([2.0], [3.0]),
+        command=1,
+        verdict=Verdict.POSSIBLY_UNSAFE,
+    )
+    return VerificationReport(cells=[proved, unproved])
+
+
+class TestRuntimeMonitor:
+    def test_verified_state(self, report):
+        monitor = RuntimeMonitor(report)
+        assert monitor.advise(np.array([1.5]), 1) is MonitorAdvice.VERIFIED
+
+    def test_unproved_state(self, report):
+        monitor = RuntimeMonitor(report)
+        assert monitor.advise(np.array([2.5]), 1) is MonitorAdvice.UNPROVED
+
+    def test_uncovered_state(self, report):
+        monitor = RuntimeMonitor(report)
+        assert monitor.advise(np.array([9.0]), 1) is MonitorAdvice.UNCOVERED
+        assert monitor.advise(np.array([1.5]), 0) is MonitorAdvice.UNCOVERED
+
+    def test_state_mapper(self, report):
+        monitor = RuntimeMonitor(report, state_mapper=lambda s: s / 10.0)
+        assert monitor.advise(np.array([15.0]), 1) is MonitorAdvice.VERIFIED
+
+
+class _ConstantController:
+    def __init__(self, command):
+        self.command = command
+        self.calls = 0
+
+    def execute(self, state, previous_command):
+        self.calls += 1
+        return self.command
+
+
+class TestSwitchingController:
+    def test_keeps_primary_when_verified(self, report):
+        system = make_system()
+        fallback = _ConstantController(0)
+        switching = SwitchingController(
+            system.controller, fallback, RuntimeMonitor(report)
+        )
+        command = switching.execute(np.array([1.5]), 1)
+        # Primary bang-bang controller says "down" (index 1) for s > 0.
+        assert command == 1
+        assert not switching.using_fallback
+        assert fallback.calls == 0
+
+    def test_falls_back_when_unproved(self, report):
+        system = make_system()
+        fallback = _ConstantController(0)
+        switching = SwitchingController(
+            system.controller, fallback, RuntimeMonitor(report)
+        )
+        command = switching.execute(np.array([2.5]), 1)
+        assert command == 0
+        assert switching.using_fallback
+        assert switching.last_advice is MonitorAdvice.UNPROVED
+
+    def test_decision_sticks_for_episode(self, report):
+        system = make_system()
+        fallback = _ConstantController(0)
+        switching = SwitchingController(
+            system.controller, fallback, RuntimeMonitor(report)
+        )
+        switching.execute(np.array([2.5]), 1)  # unproved -> fallback
+        switching.execute(np.array([1.5]), 1)  # verified region now, but...
+        assert switching.using_fallback  # ...the decision was made at step 0
+        assert fallback.calls == 2
+
+    def test_reset_reconsiders(self, report):
+        system = make_system()
+        fallback = _ConstantController(0)
+        switching = SwitchingController(
+            system.controller, fallback, RuntimeMonitor(report)
+        )
+        switching.execute(np.array([2.5]), 1)
+        switching.reset()
+        switching.execute(np.array([1.5]), 1)
+        assert not switching.using_fallback

@@ -1,0 +1,78 @@
+"""Tests for partitioning and refinement policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import RefinementPolicy, grid_partition
+from repro.intervals import Box
+
+
+class TestGridPartition:
+    def test_cell_count(self):
+        cells = grid_partition(Box([0.0, 0.0], [1.0, 1.0]), [3, 4])
+        assert len(cells) == 12
+
+    def test_cells_tile_the_box(self):
+        box = Box([0.0, -1.0], [2.0, 1.0])
+        cells = grid_partition(box, [4, 5])
+        rng = np.random.default_rng(0)
+        for p in box.sample(rng, 100):
+            assert any(c.contains_point(p) for c in cells)
+
+    def test_single_cell(self):
+        box = Box([0.0], [1.0])
+        cells = grid_partition(box, [1])
+        assert cells == [box]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_partition(Box([0.0], [1.0]), [1, 2])
+        with pytest.raises(ValueError):
+            grid_partition(Box([0.0], [1.0]), [0])
+
+
+class TestRefinementPolicy:
+    def test_bisect_all_children(self):
+        policy = RefinementPolicy(dims=(0, 1, 2), max_depth=2)
+        box = Box([0.0, 0.0, 0.0, 5.0], [1.0, 1.0, 1.0, 5.0])
+        children = policy.children(box)
+        assert len(children) == 8
+        assert policy.branching() == 8
+        # The non-refined dimension is untouched.
+        for child in children:
+            assert child.lo[3] == child.hi[3] == 5.0
+
+    def test_influence_policy_splits_single_dim(self):
+        policy = RefinementPolicy(
+            dims=(0, 1),
+            mode="influence",
+            influence_fn=lambda box: np.array([0.1, 10.0]),
+        )
+        box = Box([0.0, 0.0], [1.0, 1.0])
+        children = policy.children(box)
+        assert len(children) == 2
+        assert policy.branching() == 2
+        # Split must have happened along dim 1 (highest score).
+        assert children[0].hi[1] == pytest.approx(0.5)
+        assert children[0].hi[0] == 1.0
+
+    def test_influence_defaults_to_widest(self):
+        policy = RefinementPolicy(dims=(0, 1), mode="influence")
+        box = Box([0.0, 0.0], [1.0, 3.0])
+        children = policy.children(box)
+        assert children[0].hi[1] == pytest.approx(1.5)
+
+    def test_influence_fn_shape_validated(self):
+        policy = RefinementPolicy(
+            dims=(0,), mode="influence", influence_fn=lambda box: np.array([1.0, 2.0])
+        )
+        with pytest.raises(ValueError):
+            policy.children(Box([0.0], [1.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RefinementPolicy(dims=(0,), mode="magic")
+        with pytest.raises(ValueError):
+            RefinementPolicy(dims=())
+        with pytest.raises(ValueError):
+            RefinementPolicy(dims=(0,), max_depth=-1)

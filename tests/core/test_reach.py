@@ -1,0 +1,212 @@
+"""Tests for the reachability procedure (Algorithms 1 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ReachSettings,
+    SymbolicSet,
+    SymbolicState,
+    Verdict,
+    reach,
+    reach_from_box,
+)
+from repro.intervals import Box
+
+from .fixtures import make_system, runaway_network
+
+
+class TestVerdicts:
+    def test_regulated_loop_proved_safe(self):
+        """Bang-bang regulation from [2.0, 2.2] terminates in the
+        attractor and never approaches |s| = 5."""
+        system = make_system()
+        result = reach_from_box(system, Box([2.0], [2.2]), initial_command=1)
+        assert result.verdict is Verdict.PROVED_SAFE
+        assert result.proved_safe
+        assert result.has_terminated
+        assert result.no_error_reached
+        assert result.termination_step is not None
+
+    def test_runaway_loop_possibly_unsafe(self):
+        system = make_system(network=runaway_network(), horizon_steps=8)
+        result = reach_from_box(system, Box([2.0], [2.2]), initial_command=0)
+        assert result.verdict is Verdict.POSSIBLY_UNSAFE
+        assert not result.proved_safe
+        assert result.unsafe_time is not None
+        assert result.unsafe_command == 0
+
+    def test_no_target_gives_safe_within_horizon(self):
+        system = make_system(target="none", horizon_steps=6)
+        result = reach_from_box(system, Box([2.0], [2.2]), initial_command=1)
+        assert result.verdict is Verdict.SAFE_WITHIN_HORIZON
+        assert not result.has_terminated
+        assert not result.proved_safe  # Algorithm 3 needs hasTerminated
+        assert result.no_error_reached
+        assert result.steps_completed == 6
+
+    def test_termination_step_value(self):
+        system = make_system()
+        result = reach_from_box(system, Box([2.0], [2.2]), initial_command=1)
+        # [2.0,2.2] -> [1.0,1.2] -> [0.0,0.2] (inside T at the
+        # latest after the third transition).
+        assert result.termination_step <= 4
+
+
+class TestSymbolicBranching:
+    def test_command_split_produces_multiple_states(self):
+        """Crossing the decision boundary makes Post# return both
+        commands, so the symbolic set must branch."""
+        system = make_system(target="none", horizon_steps=3)
+        settings = ReachSettings(record_sets=True, max_symbolic_states=10)
+        result = reach_from_box(
+            system, Box([1.9], [2.1]), initial_command=1, settings=settings
+        )
+        # Step sets: R_0 has 1 state; after reaching [-0.1, 0.1]-ish
+        # boxes the command is ambiguous -> 2 states.
+        sizes = [len(s) for s in result.step_sets]
+        assert sizes[0] == 1
+        assert max(sizes) >= 2
+
+    def test_gamma_bounds_state_count(self):
+        system = make_system(target="none", horizon_steps=6)
+        settings = ReachSettings(record_sets=True, max_symbolic_states=2)
+        result = reach_from_box(
+            system, Box([1.9], [2.1]), initial_command=1, settings=settings
+        )
+        # Resize runs at the top of each iteration: R_j may exceed Γ
+        # transiently when recorded, but joins must have happened.
+        assert result.joins_performed >= 0
+        for step_set in result.step_sets[:-1]:
+            assert len(step_set) <= 2 * len(system.commands)
+
+    def test_remark_3_gamma_validation(self):
+        system = make_system()
+        with pytest.raises(ValueError):
+            reach_from_box(
+                system,
+                Box([2.0], [2.2]),
+                initial_command=1,
+                settings=ReachSettings(max_symbolic_states=1),
+            )
+
+
+class TestSoundnessAgainstSimulation:
+    def test_reach_sets_contain_concrete_trajectories(self):
+        """The central soundness theorem (Theorem 1), checked
+        empirically: simulated closed-loop trajectories stay inside the
+        recorded symbolic sets at every sampling instant."""
+        system = make_system(target="none", horizon_steps=5)
+        settings = ReachSettings(record_sets=True, max_symbolic_states=8)
+        box0 = Box([1.8], [2.2])
+        result = reach_from_box(system, box0, initial_command=1, settings=settings)
+
+        rng = np.random.default_rng(7)
+        for s0 in box0.sample(rng, 10):
+            state = s0.copy()
+            command = 1
+            for j, step_set in enumerate(result.step_sets):
+                assert step_set.contains(state, command), (
+                    f"trajectory left the symbolic set at step {j}"
+                )
+                if j == len(result.step_sets) - 1:
+                    break
+                next_command = system.controller.execute(state, command)
+                state = system.plant.simulate_point(
+                    j * system.period,
+                    (j + 1) * system.period,
+                    state,
+                    system.commands.value(command),
+                )
+                command = next_command
+
+    def test_tube_covers_interior_times(self):
+        system = make_system(target="none", horizon_steps=3)
+        settings = ReachSettings(record_sets=True, substeps=4)
+        box0 = Box([2.0], [2.1])
+        result = reach_from_box(system, box0, initial_command=1, settings=settings)
+        rng = np.random.default_rng(3)
+        for s0 in box0.sample(rng, 5):
+            # Piecewise-constant command -1 for the first period:
+            # s(t) = s0 - t on [0, 1].
+            for t in np.linspace(0.0, 0.99, 7):
+                value = s0[0] - t
+                covered = any(
+                    seg.t_start <= t <= seg.t_end
+                    and seg.box.contains_point(np.array([value]))
+                    and seg.command == 1
+                    for seg in result.tube
+                )
+                assert covered
+
+
+class TestDiagnostics:
+    def test_counters_populated(self):
+        system = make_system()
+        settings = ReachSettings(substeps=3)
+        result = reach_from_box(
+            system, Box([2.0], [2.2]), initial_command=1, settings=settings
+        )
+        assert result.integrations > 0
+        assert result.controller_evaluations > 0
+        assert result.elapsed_seconds >= 0.0
+
+    def test_early_exit_versus_full_scan(self):
+        system = make_system(network=runaway_network(), horizon_steps=8)
+        eager = reach_from_box(
+            system,
+            Box([2.0], [2.2]),
+            initial_command=0,
+            settings=ReachSettings(early_exit_on_unsafe=True),
+        )
+        thorough = reach_from_box(
+            system,
+            Box([2.0], [2.2]),
+            initial_command=0,
+            settings=ReachSettings(early_exit_on_unsafe=False),
+        )
+        assert eager.verdict is thorough.verdict is Verdict.POSSIBLY_UNSAFE
+        assert eager.unsafe_time == thorough.unsafe_time
+        assert thorough.steps_completed >= eager.steps_completed
+
+    def test_empty_initial_set_raises(self):
+        system = make_system()
+        with pytest.raises(ValueError):
+            reach(system, SymbolicSet([]))
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            ReachSettings(substeps=0)
+        with pytest.raises(ValueError):
+            ReachSettings(max_symbolic_states=0)
+
+    def test_initial_set_already_terminated(self):
+        system = make_system()
+        initial = SymbolicSet([SymbolicState(Box([0.0], [0.5]), 0)])
+        result = reach(system, initial)
+        assert result.has_terminated
+        assert result.termination_step == 0
+        assert result.proved_safe
+
+
+class TestPartialTermination:
+    def test_terminated_states_not_propagated_while_others_continue(self):
+        """Remark 2 semantics: symbolic states wholly inside T stop;
+        the remaining states keep evolving (and being E-checked)."""
+        system = make_system(horizon_steps=6)
+        # Two initial states: one already settled, one still far out.
+        initial = SymbolicSet(
+            [
+                SymbolicState(Box([0.0], [0.2]), 0),  # inside T immediately
+                SymbolicState(Box([3.0], [3.2]), 1),  # still descending
+            ]
+        )
+        settings = ReachSettings(record_sets=True, max_symbolic_states=6)
+        result = reach(system, initial, settings)
+        assert result.proved_safe
+        # The settled state contributed no successors: the recorded sets
+        # shrink to the still-active branch after step 0.
+        assert len(result.step_sets[0]) == 2
+        assert all(len(s) >= 1 for s in result.step_sets[1:])
+        # Eventually everything terminates.
+        assert result.has_terminated

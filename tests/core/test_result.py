@@ -1,0 +1,133 @@
+"""Tests for results, the coverage formula and serialization."""
+
+import pytest
+
+from repro.core import CellResult, Verdict, VerificationReport
+from repro.intervals import Box
+
+
+def cell(cell_id, proved, depth=0, children=None, elapsed=1.0, command=0):
+    return CellResult(
+        cell_id=cell_id,
+        box=Box([0.0], [1.0]),
+        command=command,
+        verdict=Verdict.PROVED_SAFE if proved else Verdict.POSSIBLY_UNSAFE,
+        depth=depth,
+        elapsed_seconds=elapsed,
+        children=children or [],
+    )
+
+
+class TestCoverageFormula:
+    def test_fully_proved(self):
+        report = VerificationReport(cells=[cell("a", True), cell("b", True)])
+        assert report.coverage_percent() == pytest.approx(100.0)
+
+    def test_fully_unproved(self):
+        report = VerificationReport(cells=[cell("a", False)])
+        assert report.coverage_percent() == pytest.approx(0.0)
+
+    def test_paper_formula_with_depth(self):
+        """c = 100/K0 * sum_d n_d / 8^d for 8-way refinement."""
+        children = [cell(f"a.{i}", i < 6, depth=1) for i in range(8)]
+        report = VerificationReport(
+            cells=[cell("a", False, children=children), cell("b", True)]
+        )
+        # K0 = 2: cell b proved at depth 0 (weight 1), cell a has 6 of 8
+        # children proved (weight 6/8).
+        expected = 100.0 / 2.0 * (1.0 + 6.0 / 8.0)
+        assert report.coverage_percent() == pytest.approx(expected)
+
+    def test_two_levels_of_refinement(self):
+        grandchildren = [cell(f"a.0.{i}", i < 4, depth=2) for i in range(8)]
+        children = [cell("a.0", False, depth=1, children=grandchildren)] + [
+            cell(f"a.{i}", True, depth=1) for i in range(1, 8)
+        ]
+        report = VerificationReport(cells=[cell("a", False, children=children)])
+        expected = 100.0 * (7.0 / 8.0 + (4.0 / 8.0) / 8.0)
+        assert report.coverage_percent() == pytest.approx(expected)
+
+    def test_n_d_counts(self):
+        children = [cell(f"a.{i}", i < 3, depth=1) for i in range(8)]
+        report = VerificationReport(
+            cells=[cell("a", False, children=children), cell("b", True)]
+        )
+        assert report.proved_count_by_depth() == {0: 1, 1: 3}
+
+    def test_empty_report(self):
+        assert VerificationReport().coverage_percent() == 0.0
+
+
+class TestCellResult:
+    def test_leaves(self):
+        children = [cell("a.0", True, depth=1), cell("a.1", False, depth=1)]
+        root = cell("a", False, children=children)
+        leaves = root.leaves()
+        assert [leaf.cell_id for leaf in leaves] == ["a.0", "a.1"]
+
+    def test_total_elapsed_includes_children(self):
+        children = [cell("a.0", True, depth=1, elapsed=2.0)]
+        root = cell("a", False, children=children, elapsed=1.0)
+        assert root.total_elapsed() == pytest.approx(3.0)
+
+    def test_unproved_leaves(self):
+        children = [cell("a.0", True, depth=1), cell("a.1", False, depth=1)]
+        report = VerificationReport(cells=[cell("a", False, children=children)])
+        assert [leaf.cell_id for leaf in report.unproved_leaves()] == ["a.1"]
+
+
+class TestLookup:
+    def test_lookup_finds_finest_leaf(self):
+        inner = CellResult(
+            cell_id="a.0",
+            box=Box([0.0], [0.5]),
+            command=0,
+            verdict=Verdict.PROVED_SAFE,
+            depth=1,
+        )
+        root = CellResult(
+            cell_id="a",
+            box=Box([0.0], [1.0]),
+            command=0,
+            verdict=Verdict.POSSIBLY_UNSAFE,
+            children=[inner],
+        )
+        report = VerificationReport(cells=[root])
+        leaf = report.lookup([0.25], command=0)
+        assert leaf.cell_id == "a.0"
+        # Point in the root but not in any child: stops at the root.
+        assert report.lookup([0.75], command=0).cell_id == "a"
+        # Wrong command: no match.
+        assert report.lookup([0.25], command=1) is None
+        assert report.lookup([5.0], command=0) is None
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, tmp_path):
+        children = [cell("a.0", True, depth=1)]
+        report = VerificationReport(
+            cells=[cell("a", False, children=children)],
+            system_name="test",
+            settings_summary={"substeps": 10},
+        )
+        path = tmp_path / "report.json"
+        report.to_json(path)
+        loaded = VerificationReport.from_json(path)
+        assert loaded.system_name == "test"
+        assert loaded.coverage_percent() == pytest.approx(report.coverage_percent())
+        assert loaded.cells[0].children[0].cell_id == "a.0"
+        assert loaded.settings_summary["substeps"] == 10
+
+    def test_csv_export(self, tmp_path):
+        report = VerificationReport(cells=[cell("a", True)])
+        path = tmp_path / "report.csv"
+        report.to_csv(path)
+        content = path.read_text()
+        assert "cell_id" in content
+        assert "proved-safe" in content
+
+    def test_summary_text(self):
+        report = VerificationReport(cells=[cell("a", True)], system_name="demo")
+        text = report.summary()
+        assert "demo" in text
+        assert "100.00%" in text

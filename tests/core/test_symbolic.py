@@ -1,0 +1,129 @@
+"""Tests for symbolic states/sets and the RESIZE join heuristic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SymbolicSet, SymbolicState, resize
+from repro.intervals import Box
+
+
+def state(lo, hi, command=0):
+    return SymbolicState(Box(lo, hi), command)
+
+
+class TestSymbolicState:
+    def test_distance_definition_9(self):
+        a = state([0.0, 0.0], [2.0, 2.0])  # center (1, 1)
+        b = state([3.0, 4.0], [5.0, 6.0])  # center (4, 5)
+        assert a.distance_sq(b) == pytest.approx(25.0)
+
+    def test_distance_requires_same_command(self):
+        with pytest.raises(ValueError):
+            state([0.0], [1.0], 0).distance_sq(state([0.0], [1.0], 1))
+
+    def test_join_definition_10(self):
+        joined = state([0.0], [1.0]).join(state([3.0], [4.0]))
+        assert joined.box == Box([0.0], [4.0])
+        assert joined.command == 0
+
+    def test_join_requires_same_command(self):
+        with pytest.raises(ValueError):
+            state([0.0], [1.0], 0).join(state([0.0], [1.0], 1))
+
+    def test_contains(self):
+        s = state([0.0], [1.0], command=2)
+        assert s.contains(np.array([0.5]), 2)
+        assert not s.contains(np.array([0.5]), 1)
+        assert not s.contains(np.array([2.0]), 2)
+
+
+class TestSymbolicSet:
+    def test_collection_interface(self):
+        ss = SymbolicSet([state([0.0], [1.0], 0), state([2.0], [3.0], 1)])
+        assert len(ss) == 2
+        assert ss[0].command == 0
+        assert ss.commands() == {0, 1}
+        groups = ss.group_by_command()
+        assert groups == {0: [0], 1: [1]}
+
+    def test_contains_union_semantics(self):
+        ss = SymbolicSet([state([0.0], [1.0], 0), state([2.0], [3.0], 0)])
+        assert ss.contains(np.array([2.5]), 0)
+        assert not ss.contains(np.array([1.5]), 0)
+
+    def test_copy_independent(self):
+        ss = SymbolicSet([state([0.0], [1.0], 0)])
+        clone = ss.copy()
+        clone.add(state([5.0], [6.0], 0))
+        assert len(ss) == 1
+
+    def test_hull_box(self):
+        ss = SymbolicSet([state([0.0], [1.0], 0), state([4.0], [5.0], 1)])
+        assert ss.hull_box() == Box([0.0], [5.0])
+
+
+class TestResize:
+    def test_joins_closest_pair_first(self):
+        ss = SymbolicSet(
+            [
+                state([0.0], [1.0], 0),
+                state([1.1], [2.0], 0),  # closest to the first
+                state([10.0], [11.0], 0),
+            ]
+        )
+        joins = resize(ss, 2)
+        assert joins == 1
+        assert len(ss) == 2
+        boxes = sorted((s.box.lo[0], s.box.hi[0]) for s in ss)
+        assert boxes == [(0.0, 2.0), (10.0, 11.0)]
+
+    def test_never_joins_across_commands(self):
+        ss = SymbolicSet(
+            [
+                state([0.0], [1.0], 0),
+                state([0.0], [1.0], 1),  # same geometry, different command
+                state([0.2], [1.2], 0),
+            ]
+        )
+        resize(ss, 2)
+        assert len(ss) == 2
+        assert ss.commands() == {0, 1}
+
+    def test_remark_3_threshold_validation(self):
+        ss = SymbolicSet([state([0.0], [1.0], 0), state([0.0], [1.0], 1)])
+        with pytest.raises(ValueError):
+            resize(ss, 1)
+
+    def test_noop_when_under_threshold(self):
+        ss = SymbolicSet([state([0.0], [1.0], 0)])
+        assert resize(ss, 5) == 0
+        assert len(ss) == 1
+
+    @settings(max_examples=50)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=3),
+        st.randoms(use_true_random=False),
+    )
+    def test_resize_is_sound_overapproximation(self, count, num_commands, rnd):
+        """Every concrete (state, command) covered before RESIZE is
+        still covered afterwards (the Ensure clause of Algorithm 2)."""
+        rng = np.random.default_rng(rnd.randrange(2**32))
+        states = []
+        for _ in range(count):
+            lo = rng.normal(size=2) * 5
+            states.append(
+                SymbolicState(Box(lo, lo + rng.random(2)), int(rng.integers(num_commands)))
+            )
+        ss = SymbolicSet(states)
+        samples = []
+        for s in states:
+            for p in s.box.sample(rng, 5):
+                samples.append((p, s.command))
+        threshold = max(num_commands, count // 2, 1)
+        resize(ss, threshold)
+        assert len(ss) <= max(threshold, 1)
+        for point, command in samples:
+            assert ss.contains(point, command)

@@ -1,0 +1,172 @@
+"""Tests for the closed-loop system model components."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArgmaxPost,
+    ArgminPost,
+    ClosedLoopSystem,
+    CommandSet,
+    Controller,
+    FunctionPre,
+    IdentityPre,
+)
+from repro.intervals import Box
+from repro.nn import Network
+
+from .fixtures import make_system, regulation_network
+
+
+class TestCommandSet:
+    def test_scalar_commands_promoted_to_vectors(self):
+        commands = CommandSet(np.array([0.0, 1.5, -1.5]))
+        assert len(commands) == 3
+        assert commands.dim == 1
+        assert commands.value(1)[0] == 1.5
+
+    def test_names(self):
+        commands = CommandSet(np.array([[0.0], [1.0]]), names=["coc", "wl"])
+        assert commands.name(1) == "wl"
+
+    def test_default_names(self):
+        commands = CommandSet(np.array([[0.0], [1.0]]))
+        assert commands.name(0) == "u0"
+
+    def test_index_of(self):
+        commands = CommandSet(np.array([[0.0], [1.5]]))
+        assert commands.index_of([1.5]) == 1
+        with pytest.raises(KeyError):
+            commands.index_of([7.0])
+
+    def test_name_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            CommandSet(np.array([[0.0], [1.0]]), names=["only-one"])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            CommandSet(np.zeros((0, 1)))
+
+
+class TestPrePost:
+    def test_identity_pre(self):
+        pre = IdentityPre()
+        x = np.array([1.0, 2.0])
+        assert np.array_equal(pre.concrete(x), x)
+        box = Box([0.0], [1.0])
+        assert pre.abstract(box) is box
+
+    def test_function_pre(self):
+        pre = FunctionPre(
+            concrete_fn=lambda s: s * 2.0,
+            abstract_fn=lambda box: Box(box.lo * 2.0, box.hi * 2.0),
+        )
+        assert pre.concrete(np.array([3.0]))[0] == 6.0
+        assert pre.abstract(Box([1.0], [2.0])) == Box([2.0], [4.0])
+
+    def test_argmin_post(self):
+        post = ArgminPost()
+        assert post.concrete(np.array([3.0, 1.0, 2.0])) == 1
+        assert post.abstract(Box([0.0, 2.0], [1.0, 3.0])) == [0]
+
+    def test_argmax_post(self):
+        post = ArgmaxPost()
+        assert post.concrete(np.array([3.0, 1.0, 2.0])) == 0
+        assert post.abstract(Box([0.0, 2.0], [1.0, 3.0])) == [1]
+
+
+class TestController:
+    def test_concrete_execution_bang_bang(self):
+        system = make_system()
+        controller = system.controller
+        # s > 0: command "down" (index 1); s < 0: command "up" (index 0).
+        assert controller.execute(np.array([2.0]), 0) == 1
+        assert controller.execute(np.array([-2.0]), 0) == 0
+
+    def test_abstract_execution_contains_concrete(self):
+        system = make_system()
+        controller = system.controller
+        box = Box([-0.5], [0.5])
+        reachable = controller.execute_abstract(box, 0)
+        rng = np.random.default_rng(0)
+        for s in box.sample(rng, 50):
+            assert controller.execute(s, 0) in reachable
+
+    def test_abstract_decided_far_from_boundary(self):
+        system = make_system()
+        assert system.controller.execute_abstract(Box([2.0], [2.2]), 0) == [1]
+
+    def test_abstract_scores_box(self):
+        system = make_system()
+        scores = system.controller.abstract_scores(Box([1.0], [2.0]), 0)
+        assert scores[0].contains(1.5)
+        assert scores[1].contains(-1.5)
+
+    def test_selector_validation(self):
+        commands = CommandSet(np.array([[1.0], [-1.0]]))
+        with pytest.raises(ValueError):
+            Controller(
+                networks=[regulation_network()],
+                commands=commands,
+                selector=lambda c: 5,
+            )
+
+    def test_no_networks_raises(self):
+        commands = CommandSet(np.array([[1.0]]))
+        with pytest.raises(ValueError):
+            Controller(networks=[], commands=commands)
+
+    def test_selector_switches_networks(self):
+        """λ routing: a two-network bank keyed on the previous command."""
+        commands = CommandSet(np.array([[1.0], [-1.0]]))
+        always_up = Network([np.array([[0.0], [0.0]])], [np.array([0.0, 1.0])])
+        always_down = Network([np.array([[0.0], [0.0]])], [np.array([1.0, 0.0])])
+        controller = Controller(
+            networks=[always_up, always_down],
+            commands=commands,
+            selector=lambda command: command,
+        )
+        s = np.array([0.0])
+        assert controller.execute(s, 0) == 0  # network 0: scores (0, 1)
+        assert controller.execute(s, 1) == 1  # network 1: scores (1, 0)
+
+
+class TestPlantAndClosedLoop:
+    def test_plant_simulate_point(self):
+        system = make_system()
+        end = system.plant.simulate_point(0.0, 1.0, np.array([0.0]), np.array([1.0]))
+        assert end[0] == pytest.approx(1.0, abs=1e-8)
+
+    def test_plant_flow_contains_simulation(self):
+        system = make_system()
+        pipe = system.plant.flow(0.0, 1.0, Box([0.0], [0.1]), np.array([1.0]), 4)
+        assert pipe.end_box[0].contains(1.05)
+
+    def test_horizon(self):
+        system = make_system(horizon_steps=8)
+        assert system.horizon == pytest.approx(8.0)
+        assert system.commands is system.controller.commands
+
+    def test_invalid_period_raises(self):
+        system = make_system()
+        with pytest.raises(ValueError):
+            ClosedLoopSystem(
+                plant=system.plant,
+                controller=system.controller,
+                period=0.0,
+                erroneous=system.erroneous,
+                target=system.target,
+                horizon_steps=5,
+            )
+
+    def test_invalid_horizon_raises(self):
+        system = make_system()
+        with pytest.raises(ValueError):
+            ClosedLoopSystem(
+                plant=system.plant,
+                controller=system.controller,
+                period=1.0,
+                erroneous=system.erroneous,
+                target=system.target,
+                horizon_steps=0,
+            )

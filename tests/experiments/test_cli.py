@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.arcs == 24
+        assert args.gamma == 5
+        assert args.substeps == 10
+        assert args.scenario == "tiny"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+
+class TestCommands:
+    def test_train(self, capsys):
+        assert main(["train", "--scenario", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "argmin agreement" in out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7", "--scenario", "tiny"]) == 0
+        assert "Fig. 7" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--bearing", "30", "--heading-offset", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "minimum separation" in out
+
+    def test_verify_show_roundtrip(self, tmp_path, capsys):
+        report_path = str(tmp_path / "report.json")
+        assert (
+            main(
+                [
+                    "verify",
+                    "--arcs", "4",
+                    "--headings", "2",
+                    "--depth", "0",
+                    "--out", report_path,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Fig. 9a" in out
+        assert "coverage c" in out
+        with open(report_path) as handle:
+            payload = json.load(handle)
+        assert len(payload["cells"]) == 8
+
+        assert main(["show", report_path]) == 0
+        assert "Fig. 9a" in capsys.readouterr().out
+
+    def test_falsify_small(self, capsys):
+        assert (
+            main(["falsify", "--population", "8", "--generations", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "best robustness" in out
+
+    def test_props(self, capsys):
+        assert main(["props", "--scenario", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "P1-entry-alert" in out
+        assert "verified" in out
+
+    def test_evaluate(self, capsys):
+        assert (
+            main(["evaluate", "--scenario", "tiny", "--encounters", "30"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "risk ratio" in out
+        assert "alert rate" in out
+
+    def test_export(self, tmp_path, capsys):
+        assert main(["export", "--scenario", "tiny", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "5 networks written" in out
+        assert (tmp_path / "ACASXU_repro_COC.nnet").exists()
+
+    def test_show_svg(self, tmp_path, capsys):
+        report_path = str(tmp_path / "report.json")
+        main(
+            [
+                "verify",
+                "--arcs", "3",
+                "--headings", "2",
+                "--depth", "0",
+                "--out", report_path,
+            ]
+        )
+        capsys.readouterr()
+        svg_path = tmp_path / "map.svg"
+        assert main(["show", report_path, "--svg", str(svg_path)]) == 0
+        assert "polar safety map" in capsys.readouterr().out
+        assert svg_path.read_text().startswith("<svg")

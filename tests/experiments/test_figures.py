@@ -1,0 +1,97 @@
+"""Tests for the experiment harness (figure data + rendering)."""
+
+import pytest
+
+from repro.experiments import (
+    CONFIGS,
+    SMOKE,
+    fig7_substep_ablation,
+    fig9a_grid,
+    fig9b_arc_profile,
+    headline,
+    render_fig7,
+    render_fig9a,
+    render_fig9b,
+    render_headline,
+    render_report,
+    run_experiment,
+    symmetry_check,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_experiment(SMOKE)
+
+
+class TestConfigs:
+    def test_registry(self):
+        assert set(CONFIGS) == {"smoke", "small", "medium", "large", "paper-scale"}
+
+    def test_paper_scale_matches_section_7(self):
+        cfg = CONFIGS["paper-scale"]
+        assert cfg.total_cells == 198764
+        assert cfg.runner.reach.substeps == 10
+        assert cfg.runner.reach.max_symbolic_states == 5
+        assert cfg.runner.refinement.max_depth == 2
+        assert cfg.runner.refinement.branching() == 8
+
+
+class TestFig7:
+    def test_monotone_tightening(self, tiny_acas):
+        rows = fig7_substep_ablation(tiny_acas, substep_values=(1, 2, 4))
+        areas = [r.tube_xy_area for r in rows]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_render(self, tiny_acas):
+        rows = fig7_substep_ablation(tiny_acas, substep_values=(1, 2))
+        text = render_fig7(rows)
+        assert "Fig. 7" in text
+        assert "M" in text
+
+
+class TestFig9Pipeline:
+    def test_smoke_run_shape(self, smoke_report):
+        assert smoke_report.total_cells == SMOKE.total_cells
+        assert 0.0 <= smoke_report.coverage_percent() <= 100.0
+        assert smoke_report.settings_summary["num_arcs"] == SMOKE.num_arcs
+
+    def test_grid_covers_all_cells(self, smoke_report):
+        grid = fig9a_grid(smoke_report)
+        assert len(grid) == SMOKE.total_cells
+        assert all(0.0 <= v <= 1.0 for v in grid.values())
+
+    def test_arc_profile(self, smoke_report):
+        rows = fig9b_arc_profile(smoke_report)
+        assert len(rows) == SMOKE.num_arcs
+        assert sum(r.cells for r in rows) == SMOKE.total_cells
+        for row in rows:
+            assert 0.0 <= row.coverage_percent <= 100.0
+            assert row.elapsed_seconds >= 0.0
+
+    def test_symmetry_check_pairs(self, smoke_report):
+        sym = symmetry_check(fig9b_arc_profile(smoke_report))
+        assert sym.pairs >= 0
+        assert sym.mean_abs_coverage_gap <= 100.0
+
+    def test_headline(self, smoke_report):
+        data = headline(smoke_report)
+        assert data.total_cells == SMOKE.total_cells
+        assert data.paper_scale_estimate_days > 0.0
+        # Closed-form n_d formula agrees with the recursive coverage.
+        closed = 100.0 / data.total_cells * sum(
+            n / 8.0**d for d, n in data.proved_by_depth.items()
+        )
+        assert closed == pytest.approx(data.coverage_percent)
+
+    def test_renderers_produce_text(self, smoke_report):
+        assert "Fig. 9a" in render_fig9a(smoke_report)
+        assert "Fig. 9b" in render_fig9b(fig9b_arc_profile(smoke_report))
+        assert "coverage c" in render_headline(headline(smoke_report))
+        full = render_report(smoke_report)
+        assert "Fig. 9a" in full and "Fig. 9b" in full
+
+    def test_empty_report_renders(self):
+        from repro.core import VerificationReport
+
+        assert "(empty report)" in render_fig9a(VerificationReport())

@@ -1,0 +1,108 @@
+"""Unit + property tests for affine arithmetic forms."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.intervals import AffineForm, Interval, atan2_affine
+
+moderate = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+
+
+@st.composite
+def form_with_point(draw):
+    """An affine form built from an interval, plus a point inside it."""
+    a = draw(moderate)
+    b = draw(moderate)
+    iv = Interval(min(a, b), max(a, b))
+    t = draw(st.floats(min_value=0.0, max_value=1.0))
+    point = min(max(iv.lo + t * (iv.hi - iv.lo), iv.lo), iv.hi)
+    return AffineForm.from_interval(iv), point
+
+
+class TestBasics:
+    def test_constant(self):
+        form = AffineForm.constant(2.5)
+        assert form.to_interval().contains(2.5)
+        assert form.to_interval().width < 1e-12
+
+    def test_from_interval_spans(self):
+        iv = Interval(1.0, 3.0)
+        form = AffineForm.from_interval(iv)
+        assert form.to_interval().contains(iv)
+
+    def test_negative_error_raises(self):
+        with pytest.raises(ValueError):
+            AffineForm(0.0, err=-1.0)
+
+    def test_correlation_cancellation(self):
+        """x - x must collapse to ~0, unlike interval arithmetic."""
+        form = AffineForm.from_interval(Interval(0.0, 10.0))
+        diff = form - form
+        assert diff.to_interval().width < 1e-9
+
+    def test_linear_combination_tighter_than_intervals(self):
+        x = AffineForm.from_interval(Interval(0.0, 1.0))
+        expr = x * 3.0 - x * 2.0  # = x, range [0, 1]
+        assert expr.to_interval().width < 1.5  # intervals would give width 5
+
+
+class TestSoundness:
+    @given(form_with_point(), form_with_point())
+    def test_add_mul(self, fp, gp):
+        (f, x), (g, y) = fp, gp
+        assert (f + g).to_interval().contains(x + y)
+        assert (f * g).to_interval().contains(x * y)
+
+    @given(form_with_point(), moderate)
+    def test_scalar_ops(self, fp, c):
+        f, x = fp
+        assert (f * c).to_interval().contains(x * c)
+        assert (f + c).to_interval().contains(x + c)
+        assert (f - c).to_interval().contains(x - c)
+        assert (c - f).to_interval().contains(c - x)
+
+    @given(form_with_point())
+    def test_neg_sq(self, fp):
+        f, x = fp
+        assert (-f).to_interval().contains(-x)
+        assert f.sq().to_interval().contains(x * x)
+
+    @given(form_with_point())
+    def test_sin_cos(self, fp):
+        f, x = fp
+        assert f.sin().to_interval().contains(math.sin(x))
+        assert f.cos().to_interval().contains(math.cos(x))
+
+    @given(form_with_point())
+    def test_sqrt(self, fp):
+        f, x = fp
+        if f.to_interval().lo < 0.0:
+            return
+        assert f.sqrt().to_interval().contains(math.sqrt(x))
+
+    @given(form_with_point(), form_with_point())
+    def test_atan2(self, yp, xp):
+        (fy, y), (fx, x) = yp, xp
+        if x == 0.0 and y == 0.0:
+            return
+        result = atan2_affine(fy, fx).to_interval()
+        assert result.contains(math.atan2(y, x))
+
+
+class TestTightness:
+    def test_sin_small_range_is_tight(self):
+        form = AffineForm.from_interval(Interval(0.5, 0.6))
+        width = form.sin().to_interval().width
+        assert width < 0.2
+
+    def test_mul_keeps_correlation(self):
+        x = AffineForm.from_interval(Interval(1.0, 2.0))
+        # x * (3 - x) over [1,2] has true range [2, 2.25];
+        # plain intervals give [1, 4].
+        expr = x * (3.0 - x)
+        rng = expr.to_interval()
+        assert rng.contains(2.0) and rng.contains(2.25)
+        assert rng.width < 3.0

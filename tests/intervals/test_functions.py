@@ -1,0 +1,166 @@
+"""Unit tests for interval elementary functions."""
+
+import math
+
+import pytest
+
+from repro.intervals import (
+    Interval,
+    iatan,
+    iatan2,
+    icos,
+    iexp,
+    ihypot,
+    ilog,
+    isin,
+    isqrt,
+    itan,
+)
+
+
+class TestSin:
+    def test_monotone_segment(self):
+        result = isin(Interval(0.1, 1.0))
+        assert result.contains(math.sin(0.1))
+        assert result.contains(math.sin(1.0))
+        assert result.hi < 1.0
+
+    def test_contains_maximum(self):
+        result = isin(Interval(1.0, 2.0))  # pi/2 inside
+        assert result.hi == 1.0
+
+    def test_contains_minimum(self):
+        result = isin(Interval(4.0, 5.0))  # 3*pi/2 inside
+        assert result.lo == -1.0
+
+    def test_wide_interval_full_range(self):
+        assert isin(Interval(0.0, 10.0)) == Interval(-1.0, 1.0)
+
+    def test_negative_arguments(self):
+        result = isin(Interval(-2.0, -1.0))  # -pi/2 inside
+        assert result.lo == -1.0
+
+    def test_far_from_origin(self):
+        x = 1000.0
+        result = isin(Interval(x, x + 0.1))
+        assert result.contains(math.sin(x + 0.05))
+
+    def test_infinite_interval(self):
+        assert isin(Interval.entire()) == Interval(-1.0, 1.0)
+
+
+class TestCos:
+    def test_contains_maximum_at_zero(self):
+        assert icos(Interval(-0.5, 0.5)).hi == 1.0
+
+    def test_contains_minimum_at_pi(self):
+        assert icos(Interval(3.0, 3.3)).lo == -1.0
+
+    def test_monotone_segment(self):
+        result = icos(Interval(0.5, 1.5))
+        assert result.contains(math.cos(0.5))
+        assert result.contains(math.cos(1.5))
+        assert result.hi < 1.0 and result.lo > -1.0
+
+    def test_pythagorean_sanity(self):
+        x = Interval(0.2, 0.3)
+        s, c = isin(x), icos(x)
+        assert (s.sq() + c.sq()).contains(1.0)
+
+
+class TestTan:
+    def test_monotone(self):
+        result = itan(Interval(0.1, 0.5))
+        assert result.contains(math.tan(0.3))
+
+    def test_pole_raises(self):
+        with pytest.raises(ValueError):
+            itan(Interval(1.0, 2.0))
+
+
+class TestSqrt:
+    def test_basic(self):
+        result = isqrt(Interval(4.0, 9.0))
+        assert result.contains(2.0) and result.contains(3.0)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            isqrt(Interval(-1.0, 4.0))
+
+    def test_clamp_tolerance(self):
+        result = isqrt(Interval(-1e-12, 4.0), clamp_tolerance=1e-9)
+        assert result.lo == 0.0
+        assert result.contains(2.0)
+
+    def test_zero(self):
+        assert isqrt(Interval(0.0, 0.0)).contains(0.0)
+
+
+class TestExpLog:
+    def test_exp(self):
+        result = iexp(Interval(0.0, 1.0))
+        assert result.contains(1.0) and result.contains(math.e)
+        assert result.lo >= 0.0
+
+    def test_log(self):
+        result = ilog(Interval(1.0, math.e))
+        assert result.contains(0.0) and result.contains(1.0)
+
+    def test_log_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            ilog(Interval(0.0, 1.0))
+
+    def test_exp_log_roundtrip(self):
+        x = Interval(0.5, 2.0)
+        assert ilog(iexp(x)).contains(x)
+
+
+class TestAtan:
+    def test_monotone(self):
+        result = iatan(Interval(-1.0, 1.0))
+        assert result.contains(-math.pi / 4) and result.contains(math.pi / 4)
+
+
+class TestAtan2:
+    def test_first_quadrant(self):
+        result = iatan2(Interval(1.0, 2.0), Interval(1.0, 2.0))
+        assert result.contains(math.atan2(1.5, 1.5))
+        assert result.lo > 0.0
+
+    def test_branch_cut_fallback(self):
+        result = iatan2(Interval(-1.0, 1.0), Interval(-2.0, -1.0))
+        assert result.contains(math.pi) and result.contains(-math.pi)
+
+    def test_origin_fallback(self):
+        result = iatan2(Interval(-1.0, 1.0), Interval(-1.0, 1.0))
+        assert result.contains(2.0) and result.contains(-2.0)
+
+    def test_upper_half_plane_crossing_y_axis(self):
+        result = iatan2(Interval(1.0, 2.0), Interval(-1.0, 1.0))
+        assert result.contains(math.atan2(1.0, 1.0))
+        assert result.contains(math.atan2(1.0, -1.0))
+
+    def test_point(self):
+        result = iatan2(Interval.point(1.0), Interval.point(0.0))
+        assert result.contains(math.pi / 2)
+        assert result.width < 1e-10
+
+
+class TestHypot:
+    def test_basic(self):
+        result = ihypot(Interval(3.0, 3.0), Interval(4.0, 4.0))
+        assert result.contains(5.0)
+
+    def test_through_zero(self):
+        result = ihypot(Interval(-1.0, 1.0), Interval(-1.0, 1.0))
+        assert result.lo == 0.0
+        assert result.contains(math.sqrt(2.0))
+
+
+class TestIpow:
+    def test_matches_dunder(self):
+        from repro.intervals import ipow
+
+        iv = Interval(-2.0, 3.0)
+        assert ipow(iv, 2) == iv**2
+        assert ipow(iv, 3) == iv**3

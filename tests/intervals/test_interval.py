@@ -1,0 +1,226 @@
+"""Unit tests for scalar interval arithmetic."""
+
+import math
+
+import pytest
+
+from repro.intervals import Interval, EmptyIntersectionError
+
+
+class TestConstruction:
+    def test_point(self):
+        iv = Interval.point(3.5)
+        assert iv.lo == iv.hi == 3.5
+        assert iv.is_point()
+
+    def test_single_argument_is_degenerate(self):
+        assert Interval(2.0) == Interval(2.0, 2.0)
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            Interval(1.0, 0.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1.0)
+
+    def test_entire(self):
+        iv = Interval.entire()
+        assert iv.contains(1e300) and iv.contains(-1e300)
+
+    def test_hull_of(self):
+        assert Interval.hull_of([3.0, -1.0, 2.0]) == Interval(-1.0, 3.0)
+
+    def test_hull_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Interval.hull_of([])
+
+    def test_coerce_number(self):
+        assert Interval.coerce(2) == Interval(2.0, 2.0)
+
+    def test_coerce_interval_identity(self):
+        iv = Interval(1, 2)
+        assert Interval.coerce(iv) is iv
+
+
+class TestInspection:
+    def test_width_mid_rad(self):
+        iv = Interval(1.0, 3.0)
+        assert iv.width >= 2.0
+        assert iv.mid == 2.0
+        assert iv.rad >= 1.0
+
+    def test_mid_always_inside(self):
+        iv = Interval(1.0, math.inf)
+        assert iv.contains(iv.mid)
+        iv2 = Interval(-math.inf, 5.0)
+        assert iv2.contains(iv2.mid)
+        assert Interval.entire().contains(Interval.entire().mid)
+
+    def test_mag_mig(self):
+        assert Interval(-3.0, 2.0).mag == 3.0
+        assert Interval(-3.0, 2.0).mig == 0.0
+        assert Interval(1.0, 2.0).mig == 1.0
+        assert Interval(-5.0, -2.0).mig == 2.0
+
+    def test_contains(self):
+        iv = Interval(0.0, 1.0)
+        assert 0.5 in iv
+        assert Interval(0.2, 0.8) in iv
+        assert Interval(0.2, 1.2) not in iv
+
+    def test_strictly_contains(self):
+        assert Interval(0, 1).strictly_contains(Interval(0.1, 0.9))
+        assert not Interval(0, 1).strictly_contains(Interval(0.0, 0.9))
+
+    def test_overlaps(self):
+        assert Interval(0, 1).overlaps(Interval(1, 2))
+        assert not Interval(0, 1).overlaps(Interval(1.1, 2))
+
+
+class TestLattice:
+    def test_hull(self):
+        assert Interval(0, 1).hull(Interval(3, 4)) == Interval(0, 4)
+
+    def test_intersect(self):
+        assert Interval(0, 2).intersect(Interval(1, 3)) == Interval(1, 2)
+
+    def test_intersect_disjoint_raises(self):
+        with pytest.raises(EmptyIntersectionError):
+            Interval(0, 1).intersect(Interval(2, 3))
+
+    def test_inflate(self):
+        iv = Interval(0.0, 1.0).inflate(0.5)
+        assert iv.lo <= -0.5 and iv.hi >= 1.5
+
+    def test_inflate_negative_raises(self):
+        with pytest.raises(ValueError):
+            Interval(0, 1).inflate(-0.1)
+
+    def test_split(self):
+        left, right = Interval(0.0, 2.0).split()
+        assert left.hi == right.lo == 1.0
+        assert left.hull(right) == Interval(0.0, 2.0)
+
+
+class TestArithmetic:
+    def test_add_contains_exact(self):
+        result = Interval(0.1, 0.2) + Interval(0.3, 0.4)
+        assert result.contains(0.1 + 0.3)
+        assert result.contains(0.2 + 0.4)
+
+    def test_sub(self):
+        result = Interval(1, 2) - Interval(0.5, 1.5)
+        assert result.contains(Interval(-0.5, 1.5))
+
+    def test_mul_signs(self):
+        assert Interval(-1, 2) * Interval(-3, 4) == Interval(
+            (Interval(-1, 2) * Interval(-3, 4)).lo,
+            (Interval(-1, 2) * Interval(-3, 4)).hi,
+        )
+        result = Interval(-1, 2) * Interval(-3, 4)
+        assert result.contains(-1 * 4) and result.contains(2 * -3)
+        assert result.contains(2 * 4) and result.contains(-1 * -3)
+
+    def test_mul_scalar(self):
+        assert (Interval(1, 2) * 3.0).contains(Interval(3, 6))
+        assert (3.0 * Interval(1, 2)).contains(Interval(3, 6))
+
+    def test_mul_zero_and_infinity(self):
+        result = Interval(0.0, 0.0) * Interval.entire()
+        assert result.contains(0.0)
+
+    def test_div(self):
+        result = Interval(1, 2) / Interval(2, 4)
+        assert result.contains(0.25) and result.contains(1.0)
+
+    def test_div_by_zero_interval_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Interval(1, 2) / Interval(-1, 1)
+
+    def test_rdiv(self):
+        result = 1.0 / Interval(2, 4)
+        assert result.contains(0.25) and result.contains(0.5)
+
+    def test_neg(self):
+        assert -Interval(1, 2) == Interval(-2, -1)
+
+    def test_pow_even_through_zero(self):
+        result = Interval(-2, 3) ** 2
+        assert result.contains(0.0) and result.contains(9.0)
+        assert result.lo == 0.0
+
+    def test_pow_odd(self):
+        result = Interval(-2, 3) ** 3
+        assert result.contains(-8.0) and result.contains(27.0)
+
+    def test_pow_zero(self):
+        assert Interval(-2, 3) ** 0 == Interval(1, 1)
+
+    def test_pow_negative_exponent(self):
+        result = Interval(2, 4) ** -1
+        assert result.contains(0.25) and result.contains(0.5)
+
+    def test_pow_non_integer_raises(self):
+        with pytest.raises(TypeError):
+            Interval(1, 2) ** 0.5
+
+    def test_sq_tighter_than_product_through_zero(self):
+        iv = Interval(-1, 2)
+        assert iv.sq().lo == 0.0
+        assert (iv * iv).lo <= -2.0
+
+    def test_abs(self):
+        assert Interval(-3, 2).abs() == Interval(0, 3)
+        assert Interval(1, 2).abs() == Interval(1, 2)
+
+
+class TestComparisons:
+    def test_certainly_lt(self):
+        assert Interval(0, 1).certainly_lt(Interval(2, 3))
+        assert not Interval(0, 2).certainly_lt(Interval(2, 3))
+
+    def test_certainly_le(self):
+        assert Interval(0, 2).certainly_le(Interval(2, 3))
+
+    def test_certainly_gt_ge(self):
+        assert Interval(4, 5).certainly_gt(Interval(2, 3))
+        assert Interval(3, 5).certainly_ge(Interval(2, 3))
+
+    def test_possibly_lt(self):
+        assert Interval(0, 5).possibly_lt(Interval(1, 2))
+        assert not Interval(3, 5).possibly_lt(Interval(1, 2))
+
+
+class TestPlumbing:
+    def test_equality_and_hash(self):
+        assert Interval(1, 2) == Interval(1, 2)
+        assert hash(Interval(1, 2)) == hash(Interval(1, 2))
+        assert Interval(1, 2) != Interval(1, 3)
+
+    def test_iter_unpacks(self):
+        lo, hi = Interval(1, 2)
+        assert (lo, hi) == (1.0, 2.0)
+
+    def test_repr_roundtrip_precision(self):
+        iv = Interval(0.1, 0.2)
+        assert "0.1" in repr(iv)
+
+
+class TestScaleAndMisc:
+    def test_scale_and_translate(self):
+        iv = Interval(1.0, 2.0).scale_and_translate(3.0, -1.0)
+        assert iv.contains(2.0) and iv.contains(5.0)
+
+    def test_widen_relative(self):
+        iv = Interval(0.0, 2.0).widen_relative(0.5, abs_floor=0.1)
+        assert iv.lo < -0.5 and iv.hi > 2.5
+
+    def test_entire_arithmetic_stable(self):
+        entire = Interval.entire()
+        assert (entire + 1.0).contains(1e308)
+        assert (entire * 0.0).contains(0.0)
+
+    def test_is_finite(self):
+        assert Interval(0.0, 1.0).is_finite()
+        assert not Interval(0.0, math.inf).is_finite()

@@ -1,0 +1,186 @@
+"""Property-based soundness tests for the interval substrate.
+
+The central invariant of interval arithmetic is *inclusion
+isotonicity*: if x in X and y in Y, then (x op y) in (X op Y). Every
+downstream soundness argument (validated simulation, abstract
+interpretation, the closed-loop reachability theorem) rests on it, so we
+hammer it with hypothesis.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import (
+    Box,
+    Interval,
+    affine_bounds,
+    iatan2,
+    icos,
+    iexp,
+    ihypot,
+    interval_matvec,
+    isin,
+    isqrt,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def intervals(draw, elements=finite):
+    a = draw(elements)
+    b = draw(elements)
+    return Interval(min(a, b), max(a, b))
+
+
+@st.composite
+def interval_with_point(draw, elements=finite):
+    iv = draw(intervals(elements))
+    t = draw(st.floats(min_value=0.0, max_value=1.0))
+    point = iv.lo + t * (iv.hi - iv.lo)
+    point = min(max(point, iv.lo), iv.hi)
+    return iv, point
+
+
+class TestInclusionIsotonicity:
+    @given(interval_with_point(), interval_with_point())
+    def test_add(self, xp, yp):
+        (ix, x), (iy, y) = xp, yp
+        assert (ix + iy).contains(x + y)
+
+    @given(interval_with_point(), interval_with_point())
+    def test_sub(self, xp, yp):
+        (ix, x), (iy, y) = xp, yp
+        assert (ix - iy).contains(x - y)
+
+    @given(interval_with_point(), interval_with_point())
+    def test_mul(self, xp, yp):
+        (ix, x), (iy, y) = xp, yp
+        assert (ix * iy).contains(x * y)
+
+    @given(interval_with_point(), interval_with_point())
+    def test_div(self, xp, yp):
+        (ix, x), (iy, y) = xp, yp
+        if iy.lo <= 0.0 <= iy.hi:
+            return
+        assert (ix / iy).contains(x / y)
+
+    @given(interval_with_point(), st.integers(min_value=0, max_value=6))
+    def test_pow(self, xp, n):
+        ix, x = xp
+        result = ix**n
+        value = x**n
+        if math.isfinite(value):
+            assert result.contains(value)
+
+    @given(interval_with_point())
+    def test_neg_abs(self, xp):
+        ix, x = xp
+        assert (-ix).contains(-x)
+        assert ix.abs().contains(abs(x))
+
+    @given(interval_with_point())
+    def test_sq(self, xp):
+        ix, x = xp
+        assert ix.sq().contains(x * x)
+
+
+class TestFunctionInclusion:
+    @given(interval_with_point(st.floats(min_value=-50.0, max_value=50.0)))
+    def test_sin(self, xp):
+        ix, x = xp
+        assert isin(ix).contains(math.sin(x))
+
+    @given(interval_with_point(st.floats(min_value=-50.0, max_value=50.0)))
+    def test_cos(self, xp):
+        ix, x = xp
+        assert icos(ix).contains(math.cos(x))
+
+    @given(interval_with_point(st.floats(min_value=0.0, max_value=1e6)))
+    def test_sqrt(self, xp):
+        ix, x = xp
+        assert isqrt(ix).contains(math.sqrt(max(x, 0.0)))
+
+    @given(interval_with_point(st.floats(min_value=-30.0, max_value=30.0)))
+    def test_exp(self, xp):
+        ix, x = xp
+        assert iexp(ix).contains(math.exp(x))
+
+    @given(interval_with_point(), interval_with_point())
+    def test_atan2(self, yp, xp):
+        (iy, y), (ix, x) = yp, xp
+        if x == 0.0 and y == 0.0:
+            return
+        assert iatan2(iy, ix).contains(math.atan2(y, x))
+
+    @given(interval_with_point(), interval_with_point())
+    def test_hypot(self, xp, yp):
+        (ix, x), (iy, y) = xp, yp
+        assert ihypot(ix, iy).contains(math.hypot(x, y))
+
+
+class TestLatticeLaws:
+    @given(intervals(), intervals())
+    def test_hull_contains_both(self, a, b):
+        h = a.hull(b)
+        assert h.contains(a) and h.contains(b)
+
+    @given(intervals(), intervals())
+    def test_intersect_contained_in_both(self, a, b):
+        if not a.overlaps(b):
+            return
+        m = a.intersect(b)
+        assert a.contains(m) and b.contains(m)
+
+    @given(intervals())
+    def test_split_covers(self, iv):
+        left, right = iv.split()
+        assert left.hull(right) == iv
+
+
+class TestVectorizedSoundness:
+    @settings(max_examples=50)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6), st.randoms(use_true_random=False))
+    def test_interval_matvec_contains_samples(self, rows, cols, rnd):
+        rng = np.random.default_rng(rnd.randrange(2**32))
+        weights = rng.normal(size=(rows, cols)) * 10.0
+        bias = rng.normal(size=rows)
+        lo = rng.normal(size=cols)
+        hi = lo + rng.random(cols) * 5.0
+        out_lo, out_hi = interval_matvec(weights, lo, hi, bias)
+        for _ in range(20):
+            x = lo + rng.random(cols) * (hi - lo)
+            y = weights @ x + bias
+            assert np.all(out_lo <= y) and np.all(y <= out_hi)
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6), st.randoms(use_true_random=False))
+    def test_affine_bounds_contains_samples(self, rows, cols, rnd):
+        rng = np.random.default_rng(rnd.randrange(2**32))
+        coeffs = rng.normal(size=(rows, cols)) * 5.0
+        const = rng.normal(size=rows)
+        lo = rng.normal(size=cols)
+        hi = lo + rng.random(cols) * 3.0
+        out_lo, out_hi = affine_bounds(coeffs, const, lo, hi)
+        for _ in range(20):
+            x = lo + rng.random(cols) * (hi - lo)
+            y = coeffs @ x + const
+            assert np.all(out_lo <= y) and np.all(y <= out_hi)
+
+
+class TestBoxProperties:
+    @settings(max_examples=50)
+    @given(st.integers(min_value=1, max_value=5), st.randoms(use_true_random=False))
+    def test_bisect_all_partition_covers_samples(self, dim, rnd):
+        rng = np.random.default_rng(rnd.randrange(2**32))
+        lo = rng.normal(size=dim)
+        hi = lo + rng.random(dim) * 4.0
+        box = Box(lo, hi)
+        pieces = box.bisect_all(list(range(dim)))
+        for p in box.sample(rng, 20):
+            assert any(piece.contains_point(p) for piece in pieces)

@@ -1,0 +1,65 @@
+"""Tests for the directed-rounding helpers."""
+
+import math
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.intervals.rounding import (
+    LIBM_ULPS,
+    array_down,
+    array_up,
+    down,
+    down_ulps,
+    lib_down,
+    lib_up,
+    up,
+    up_ulps,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestScalarRounding:
+    @given(finite)
+    def test_down_strictly_below(self, x):
+        assert down(x) < x or (x == -math.inf)
+
+    @given(finite)
+    def test_up_strictly_above(self, x):
+        assert up(x) > x or (x == math.inf)
+
+    def test_infinities_fixed(self):
+        assert down(-math.inf) == -math.inf
+        assert up(math.inf) == math.inf
+        # down of +inf steps to the largest finite float.
+        assert math.isfinite(down(math.inf))
+
+    @given(finite)
+    def test_ulp_stepping_monotone(self, x):
+        assert down_ulps(x, 3) <= down(x)
+        assert up_ulps(x, 3) >= up(x)
+
+    @given(finite)
+    def test_lib_margins(self, x):
+        assert lib_down(x) <= down_ulps(x, LIBM_ULPS - 1)
+        assert lib_up(x) >= up_ulps(x, LIBM_ULPS - 1)
+
+    def test_round_trip_adjacent(self):
+        x = 1.0
+        assert up(down(x)) == x
+        assert down(up(x)) == x
+
+
+class TestArrayRounding:
+    def test_vectorized_direction(self):
+        x = np.array([0.0, 1.0, -1.0, 1e308])
+        assert np.all(array_down(x) < x)
+        assert np.all(array_up(x) > x)
+
+    def test_matches_scalar(self):
+        values = [0.0, 1.5, -2.25, 1e-300]
+        arr = np.array(values)
+        assert np.array_equal(array_down(arr), [down(v) for v in values])
+        assert np.array_equal(array_up(arr), [up(v) for v in values])

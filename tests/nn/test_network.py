@@ -1,0 +1,110 @@
+"""Unit tests for the ReLU network implementation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Network, relu
+
+
+@pytest.fixture
+def paper_example():
+    """The tiny network from Fig. 4 of the paper.
+
+    Hidden layer: two neurons with weights (-1, 4) bias 5 and (3, -8)
+    bias 6; output: weights (-0.5, 1) bias 2. F((1, 2)) = -4.
+    """
+    return Network(
+        weights=[np.array([[-1.0, 4.0], [3.0, -8.0]]), np.array([[-0.5, 1.0]])],
+        biases=[np.array([5.0, 6.0]), np.array([2.0])],
+    )
+
+
+class TestConstruction:
+    def test_shapes(self, paper_example):
+        assert paper_example.input_size == 2
+        assert paper_example.output_size == 1
+        assert paper_example.layer_sizes == [2, 2, 1]
+        assert paper_example.num_hidden_layers == 1
+        assert paper_example.num_parameters() == 4 + 2 + 2 + 1
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Network([np.eye(2)], [])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Network([], [])
+
+    def test_bad_bias_shape_raises(self):
+        with pytest.raises(ValueError):
+            Network([np.eye(2)], [np.zeros(3)])
+
+    def test_incompatible_layers_raise(self):
+        with pytest.raises(ValueError):
+            Network([np.eye(2), np.eye(3)], [np.zeros(2), np.zeros(3)])
+
+    def test_non_matrix_weight_raises(self):
+        with pytest.raises(ValueError):
+            Network([np.zeros(3)], [np.zeros(3)])
+
+
+class TestForward:
+    def test_paper_example_value(self, paper_example):
+        """The worked example from the paper: F((1, 2)) = -4."""
+        assert paper_example(np.array([1.0, 2.0]))[0] == pytest.approx(-4.0)
+
+    def test_relu_clamps(self, paper_example):
+        # Second hidden neuron gets 3*1 - 8*2 + 6 = -7 -> clamped to 0.
+        acts = paper_example.activations(np.array([[1.0, 2.0]]))
+        assert acts[1][0, 1] == 0.0
+        assert acts[1][0, 0] == pytest.approx(12.0)
+
+    def test_batch_matches_single(self, paper_example):
+        rng = np.random.default_rng(1)
+        batch = rng.normal(size=(10, 2))
+        batched = paper_example.forward_batch(batch)
+        for i in range(10):
+            assert np.allclose(batched[i], paper_example.forward(batch[i]))
+
+    def test_wrong_input_shape_raises(self, paper_example):
+        with pytest.raises(ValueError):
+            paper_example.forward(np.zeros(3))
+
+    def test_deterministic(self, paper_example):
+        x = np.array([0.3, -0.7])
+        assert np.array_equal(paper_example(x), paper_example(x))
+
+    def test_piecewise_linearity(self):
+        """Within one activation pattern the map is affine."""
+        rng = np.random.default_rng(7)
+        net = Network.random([3, 8, 8, 2], rng)
+        x = rng.normal(size=3)
+        eps = 1e-6
+        d = rng.normal(size=3) * eps
+        f0, f1, f2 = net(x - d), net(x), net(x + d)
+        assert np.allclose(f2 - f1, f1 - f0, atol=1e-9)
+
+
+class TestRandomAndCopy:
+    def test_random_architecture(self):
+        net = Network.random([4, 10, 10, 3], np.random.default_rng(0))
+        assert net.layer_sizes == [4, 10, 10, 3]
+
+    def test_random_needs_two_layers(self):
+        with pytest.raises(ValueError):
+            Network.random([4])
+
+    def test_copy_is_independent(self, paper_example):
+        clone = paper_example.copy()
+        clone.weights[0][0, 0] = 99.0
+        assert paper_example.weights[0][0, 0] == -1.0
+
+    def test_repr(self, paper_example):
+        assert "2-2-1" in repr(paper_example)
+
+
+class TestRelu:
+    def test_values(self):
+        assert np.array_equal(
+            relu(np.array([-1.0, 0.0, 2.0])), np.array([0.0, 0.0, 2.0])
+        )

@@ -1,0 +1,100 @@
+"""Round-trip tests for .nnet, .npz and JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    NNetMetadata,
+    Network,
+    load_json,
+    load_nnet,
+    load_npz,
+    loads_nnet,
+    save_json,
+    save_nnet,
+    save_npz,
+)
+
+
+@pytest.fixture
+def net():
+    return Network.random([3, 7, 5, 2], np.random.default_rng(11))
+
+
+def assert_same_function(a: Network, b: Network):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(20, a.input_size))
+    assert np.allclose(a.forward_batch(x), b.forward_batch(x), atol=1e-12)
+
+
+class TestNpz:
+    def test_roundtrip(self, net, tmp_path):
+        path = tmp_path / "net.npz"
+        save_npz(net, path)
+        assert_same_function(net, load_npz(path))
+
+
+class TestJson:
+    def test_roundtrip(self, net, tmp_path):
+        path = tmp_path / "net.json"
+        save_json(net, path)
+        assert_same_function(net, load_json(path))
+
+
+class TestNNet:
+    def test_roundtrip(self, net, tmp_path):
+        path = tmp_path / "net.nnet"
+        save_nnet(net, path)
+        loaded, metadata = load_nnet(path)
+        assert_same_function(net, loaded)
+        # Identity metadata by default.
+        x = np.array([0.5, -0.5, 2.0])
+        assert np.allclose(metadata.normalize_input(x), x)
+        assert np.allclose(metadata.denormalize_output(np.array([1.5])), [1.5])
+
+    def test_roundtrip_with_metadata(self, net, tmp_path):
+        metadata = NNetMetadata(
+            input_mins=np.array([-1.0, -2.0, -3.0]),
+            input_maxes=np.array([1.0, 2.0, 3.0]),
+            means=np.array([0.0, 0.5, -0.5, 10.0]),
+            ranges=np.array([2.0, 4.0, 6.0, 5.0]),
+        )
+        path = tmp_path / "net.nnet"
+        save_nnet(net, path, metadata)
+        _, loaded_meta = load_nnet(path)
+        assert np.allclose(loaded_meta.input_mins, metadata.input_mins)
+        assert np.allclose(loaded_meta.ranges, metadata.ranges)
+        # Normalization clips to the declared input range.
+        x = np.array([5.0, 0.0, 0.0])
+        normalized = loaded_meta.normalize_input(x)
+        assert normalized[0] == pytest.approx((1.0 - 0.0) / 2.0)
+
+    def test_parse_with_comments(self):
+        text = (
+            "// a comment\n"
+            "// another\n"
+            "1,2,1,2,\n"
+            "2,1,\n"
+            "0,\n"
+            "-1,-1,\n"
+            "1,1,\n"
+            "0,0,0,\n"
+            "1,1,1,\n"
+            "0.5,-0.25,\n"
+            "0.125,\n"
+        )
+        net, _ = loads_nnet(text)
+        assert net.layer_sizes == [2, 1]
+        assert net.forward(np.array([2.0, 4.0]))[0] == pytest.approx(
+            0.5 * 2 - 0.25 * 4 + 0.125
+        )
+
+    def test_bad_layer_sizes_raise(self):
+        text = "1,2,1,2,\n2,1,1,\n0,\n-1,-1,\n1,1,\n0,0,0,\n1,1,1,\n0.5,-0.25,\n0.125,\n"
+        with pytest.raises(ValueError):
+            loads_nnet(text)
+
+    def test_truncated_weights_raise(self):
+        text = "1,2,1,2,\n2,1,\n0,\n-1,-1,\n1,1,\n0,0,0,\n1,1,1,\n0.5,\n0.125,\n"
+        with pytest.raises(ValueError):
+            loads_nnet(text)

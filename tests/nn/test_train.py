@@ -1,0 +1,108 @@
+"""Trainer tests: gradient correctness and end-to-end regression."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Network, TrainingConfig, train_regression
+from repro.nn.train import _backward, _forward_with_cache
+
+
+class TestGradients:
+    def test_backprop_matches_finite_differences(self):
+        rng = np.random.default_rng(3)
+        net = Network.random([2, 5, 3], rng)
+        x = rng.normal(size=(4, 2))
+        y = rng.normal(size=(4, 3))
+
+        out, pre, post = _forward_with_cache(net, x)
+        grad_out = 2.0 * (out - y) / x.shape[0]
+        grads_w, grads_b = _backward(net, grad_out, pre, post)
+
+        def loss():
+            return float(np.mean(np.sum((net.forward_batch(x) - y) ** 2, axis=1)))
+
+        eps = 1e-6
+        for layer in range(len(net.weights)):
+            for index in [(0, 0), (1, 1)]:
+                original = net.weights[layer][index]
+                net.weights[layer][index] = original + eps
+                up = loss()
+                net.weights[layer][index] = original - eps
+                down = loss()
+                net.weights[layer][index] = original
+                numeric = (up - down) / (2 * eps)
+                assert grads_w[layer][index] * x.shape[0] == pytest.approx(
+                    numeric * x.shape[0], rel=1e-4, abs=1e-6
+                )
+            original = net.biases[layer][0]
+            net.biases[layer][0] = original + eps
+            up = loss()
+            net.biases[layer][0] = original - eps
+            down = loss()
+            net.biases[layer][0] = original
+            numeric = (up - down) / (2 * eps)
+            assert grads_b[layer][0] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+
+class TestTraining:
+    def test_fits_linear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(500, 2))
+        y = (x @ np.array([[2.0], [-1.0]])) + 0.5
+        net = Network.random([2, 16, 1], rng)
+        history = train_regression(
+            net, x, y, TrainingConfig(epochs=150, learning_rate=5e-3, seed=0)
+        )
+        assert history.final_loss < 1e-3
+        assert history.losses[0] > history.final_loss
+
+    def test_fits_nonlinear_function(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-2, 2, size=(800, 1))
+        y = np.abs(x)  # exactly representable with ReLU
+        net = Network.random([1, 16, 1], rng)
+        history = train_regression(
+            net, x, y, TrainingConfig(epochs=300, learning_rate=1e-2, seed=1)
+        )
+        assert history.final_loss < 1e-3
+
+    def test_early_stop_on_target_loss(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, size=(200, 1))
+        y = x * 0.0
+        net = Network.random([1, 4, 1], rng)
+        history = train_regression(
+            net,
+            x,
+            y,
+            TrainingConfig(epochs=500, learning_rate=1e-2, target_loss=1e-3, seed=2),
+        )
+        assert len(history.losses) < 500
+
+    def test_deterministic_given_seed(self):
+        rng_data = np.random.default_rng(5)
+        x = rng_data.uniform(-1, 1, size=(100, 2))
+        y = x[:, :1] * x[:, 1:]
+        results = []
+        for _ in range(2):
+            net = Network.random([2, 8, 1], np.random.default_rng(9))
+            train_regression(net, x, y, TrainingConfig(epochs=20, seed=7))
+            results.append(net.forward(np.array([0.25, -0.5]))[0])
+        assert results[0] == results[1]
+
+    def test_shape_validation(self):
+        net = Network.random([2, 4, 1], np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            train_regression(net, np.zeros((10, 3)), np.zeros((10, 1)))
+        with pytest.raises(ValueError):
+            train_regression(net, np.zeros((10, 2)), np.zeros((10, 2)))
+        with pytest.raises(ValueError):
+            train_regression(net, np.zeros((10, 2)), np.zeros((9, 1)))
+        with pytest.raises(ValueError):
+            train_regression(net, np.zeros(10), np.zeros(10))
+
+    def test_history_final_loss_empty_raises(self):
+        from repro.nn import TrainingHistory
+
+        with pytest.raises(ValueError):
+            TrainingHistory().final_loss

@@ -1,0 +1,111 @@
+"""Tests for flow-tube event queries and the generic op dispatch."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.intervals import AffineForm, Box, Interval
+from repro.ode import (
+    Jet,
+    ODESystem,
+    TaylorIntegrator,
+    crossing_steps,
+    first_possible_crossing,
+    gcos,
+    gsin,
+    gsq,
+    gsqrt,
+    refine_crossing_time,
+)
+
+NO_U = np.zeros(0)
+DECAY = ODESystem(rhs=lambda t, s, u: [-s[0]], dim=1, name="decay")
+
+
+class TestGenericOps:
+    def test_float_dispatch(self):
+        assert gsin(0.5) == math.sin(0.5)
+        assert gcos(0.5) == math.cos(0.5)
+        assert gsqrt(4.0) == 2.0
+        assert gsq(3.0) == 9.0
+
+    def test_interval_dispatch(self):
+        iv = Interval(0.1, 0.2)
+        assert gsin(iv).contains(math.sin(0.15))
+        assert gcos(iv).contains(math.cos(0.15))
+        assert gsqrt(Interval(4.0, 9.0)).contains(2.5)
+        assert gsq(Interval(-2.0, 1.0)).lo == 0.0
+
+    def test_jet_dispatch(self):
+        jet = Jet.variable(0.0, 3)
+        assert gsin(jet).coeff(1).contains(1.0)
+        assert gcos(jet).coeff(0).contains(1.0)
+        assert gsq(jet + 1.0).coeff(0).contains(1.0)
+        assert gsqrt(jet + 1.0).coeff(1).contains(0.5)
+
+    def test_affine_dispatch(self):
+        form = AffineForm.from_interval(Interval(0.2, 0.4))
+        assert gsin(form).to_interval().contains(math.sin(0.3))
+        assert gcos(form).to_interval().contains(math.cos(0.3))
+        assert gsqrt(form).to_interval().contains(math.sqrt(0.3))
+        assert gsq(form).to_interval().contains(0.09)
+
+
+class TestCrossingQueries:
+    @pytest.fixture
+    def pipe(self):
+        integrator = TaylorIntegrator(DECAY)
+        return integrator.integrate(0.0, 2.0, Box([1.0], [1.0]), NO_U, substeps=8)
+
+    def test_crossing_steps_indices(self, pipe):
+        # exp(-t) < 0.5 from t ~ 0.693: steps covering later times match.
+        indices = crossing_steps(pipe, lambda box: box[0].lo < 0.5)
+        assert indices
+        assert indices == sorted(indices)
+        assert pipe.steps[indices[0]].t_end >= math.log(2.0) - 0.26
+
+    def test_no_crossing(self, pipe):
+        assert crossing_steps(pipe, lambda box: box[0].lo < -1.0) == []
+        assert first_possible_crossing(pipe, lambda box: box[0].lo < -1.0) is None
+
+    def test_refine_crossing_time_sharpens(self, pipe):
+        predicate = lambda box: box[0].lo < 0.5
+        coarse = first_possible_crossing(pipe, predicate)
+        integrator = TaylorIntegrator(DECAY)
+        refined = refine_crossing_time(pipe, predicate, integrator, NO_U, refinements=5)
+        true_crossing = math.log(2.0)
+        assert coarse is not None and refined is not None
+        assert refined <= true_crossing
+        assert refined >= coarse
+
+    def test_refine_no_crossing_returns_none(self, pipe):
+        integrator = TaylorIntegrator(DECAY)
+        assert (
+            refine_crossing_time(pipe, lambda box: False, integrator, NO_U) is None
+        )
+
+
+class TestFlowPipe:
+    def test_empty_pipe_raises(self):
+        from repro.ode import FlowPipe
+
+        pipe = FlowPipe()
+        with pytest.raises(ValueError):
+            _ = pipe.end_box
+        with pytest.raises(ValueError):
+            _ = pipe.t_end
+
+    def test_contains_trajectory_rejects_outside(self):
+        integrator = TaylorIntegrator(DECAY)
+        pipe = integrator.integrate(0.0, 1.0, Box([1.0], [1.0]), NO_U, substeps=4)
+        times = np.array([0.5])
+        bad_states = np.array([[5.0]])
+        assert not pipe.contains_trajectory(times, bad_states)
+
+    def test_enclosure_covers_all_steps(self):
+        integrator = TaylorIntegrator(DECAY)
+        pipe = integrator.integrate(0.0, 1.0, Box([1.0], [1.0]), NO_U, substeps=4)
+        hull = pipe.enclosure()
+        for step in pipe.steps:
+            assert hull.contains_box(step.range_box)

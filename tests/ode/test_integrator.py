@@ -1,0 +1,207 @@
+"""Validated integrator tests: exactness on known flows, containment
+against scipy reference solutions, and Algorithm 1 behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.integrate import solve_ivp
+
+from repro.intervals import Box, Interval
+from repro.ode import (
+    EnclosureError,
+    IntegratorSettings,
+    ODESystem,
+    TaylorIntegrator,
+    a_priori_enclosure,
+    first_possible_crossing,
+    gcos,
+    gsin,
+    ode_taylor_coefficients,
+)
+
+NO_U = np.zeros(0)
+
+
+def decay(t, s, u):
+    """s' = -s, solution s0 * exp(-t)."""
+    return [-s[0]]
+
+
+def harmonic(t, s, u):
+    """x' = v, v' = -x: circular orbits."""
+    return [s[1], -s[0]]
+
+
+def controlled_scalar(t, s, u):
+    """s' = u[0], trivially solvable."""
+    return [0.0 * s[0] + float(u[0])]
+
+
+def pendulum(t, s, u):
+    """Nonlinear pendulum with torque input."""
+    return [s[1], -gsin(s[0]) - 0.1 * s[1] + float(u[0])]
+
+
+DECAY = ODESystem(rhs=decay, dim=1, name="decay")
+HARMONIC = ODESystem(rhs=harmonic, dim=2, name="harmonic")
+PENDULUM = ODESystem(rhs=pendulum, dim=2, name="pendulum")
+
+
+class TestTaylorCoefficients:
+    def test_decay_coefficients(self):
+        coeffs = ode_taylor_coefficients(DECAY, 0.0, [Interval.point(1.0)], NO_U, 4)
+        expected = [1.0, -1.0, 0.5, -1.0 / 6.0, 1.0 / 24.0]
+        for k, e in enumerate(expected):
+            assert coeffs[0][k].contains(e)
+            assert coeffs[0][k].width < 1e-12
+
+    def test_harmonic_coefficients(self):
+        coeffs = ode_taylor_coefficients(
+            HARMONIC, 0.0, [Interval.point(1.0), Interval.point(0.0)], NO_U, 4
+        )
+        # x(t) = cos t, v(t) = -sin t
+        assert coeffs[0][2].contains(-0.5)
+        assert coeffs[1][1].contains(-1.0)
+        assert coeffs[1][3].contains(1.0 / 6.0)
+
+    def test_time_dependent_rhs(self):
+        system = ODESystem(rhs=lambda t, s, u: [t], dim=1, name="ramp")
+        coeffs = ode_taylor_coefficients(system, 2.0, [Interval.point(0.0)], NO_U, 3)
+        # s' = t at t0=2: s = 2 dt + dt^2/2 (local expansion)
+        assert coeffs[0][1].contains(2.0)
+        assert coeffs[0][2].contains(0.5)
+
+
+class TestPicard:
+    def test_enclosure_verified(self):
+        settings = IntegratorSettings()
+        box = Box([0.9], [1.1])
+        enc = a_priori_enclosure(DECAY, 0.0, 0.1, box, NO_U, settings)
+        # True flow over [0, 0.1] stays within [0.9*e^-0.1, 1.1].
+        assert enc.contains_box(Box([0.9 * math.exp(-0.1)], [1.1]))
+
+    def test_enclosure_failure_raises(self):
+        # s' = s^2 from s0 = 100 blows up around t = 0.01; a step of 1.0
+        # cannot be enclosed.
+        blowup = ODESystem(rhs=lambda t, s, u: [s[0] * s[0]], dim=1, name="blowup")
+        settings = IntegratorSettings(max_picard_attempts=5)
+        with pytest.raises(EnclosureError):
+            a_priori_enclosure(blowup, 0.0, 1.0, Box([100.0], [100.0]), NO_U, settings)
+
+    def test_invalid_step_raises(self):
+        with pytest.raises(ValueError):
+            a_priori_enclosure(
+                DECAY, 0.0, 0.0, Box([1.0], [1.0]), NO_U, IntegratorSettings()
+            )
+
+
+class TestStep:
+    def test_decay_endpoint_tight(self):
+        integrator = TaylorIntegrator(DECAY)
+        step = integrator.step(0.0, 0.5, Box([1.0], [1.0]), NO_U)
+        exact = math.exp(-0.5)
+        assert step.end_box[0].contains(exact)
+        # Order-6 Lagrange remainder at h = 0.5 is ~h^7/7! ~ 1.5e-6.
+        assert step.end_box[0].width < 1e-5
+
+    def test_decay_range_contains_path(self):
+        integrator = TaylorIntegrator(DECAY)
+        step = integrator.step(0.0, 0.5, Box([1.0], [1.0]), NO_U)
+        for t in np.linspace(0.0, 0.5, 20):
+            assert step.range_box[0].contains(math.exp(-t))
+
+    def test_harmonic_quarter_turn(self):
+        integrator = TaylorIntegrator(HARMONIC, IntegratorSettings(order=10))
+        pipe = integrator.integrate(
+            0.0, math.pi / 2.0, Box([1.0, 0.0], [1.0, 0.0]), NO_U, substeps=8
+        )
+        end = pipe.end_box
+        assert end[0].contains(0.0)
+        assert end[1].contains(-1.0)
+        assert end[0].width < 1e-6
+
+    def test_command_enters_dynamics(self):
+        system = ODESystem(rhs=controlled_scalar, dim=1, name="integrator-plant")
+        integrator = TaylorIntegrator(system)
+        step = integrator.step(0.0, 1.0, Box([0.0], [0.0]), np.array([2.5]))
+        assert step.end_box[0].contains(2.5)
+
+    def test_dimension_mismatch_raises(self):
+        integrator = TaylorIntegrator(DECAY)
+        with pytest.raises(ValueError):
+            integrator.step(0.0, 0.1, Box([0.0, 0.0], [1.0, 1.0]), NO_U)
+
+    def test_hard_step_bisects_internally(self):
+        # Moderately stiff: a single large step fails Picard but the
+        # internal bisection still produces a sound result.
+        stiff = ODESystem(rhs=lambda t, s, u: [-50.0 * s[0]], dim=1, name="stiff")
+        integrator = TaylorIntegrator(stiff, IntegratorSettings(max_picard_attempts=4))
+        step = integrator.step(0.0, 0.2, Box([1.0], [1.0]), NO_U)
+        assert step.end_box[0].contains(math.exp(-10.0))
+
+
+class TestIntegrate:
+    def test_substep_count(self):
+        integrator = TaylorIntegrator(DECAY)
+        pipe = integrator.integrate(0.0, 1.0, Box([1.0], [1.0]), NO_U, substeps=4)
+        assert len(pipe.steps) == 4
+        assert pipe.t_end == pytest.approx(1.0)
+
+    def test_more_substeps_tighter_range(self):
+        """The Fig. 7 effect: larger M gives a tighter flow tube."""
+        integrator = TaylorIntegrator(HARMONIC)
+        box = Box([0.95, -0.05], [1.05, 0.05])
+        coarse = integrator.integrate(0.0, 1.0, box, NO_U, substeps=1)
+        fine = integrator.integrate(0.0, 1.0, box, NO_U, substeps=8)
+        assert fine.enclosure().volume() < coarse.enclosure().volume()
+
+    def test_invalid_args(self):
+        integrator = TaylorIntegrator(DECAY)
+        with pytest.raises(ValueError):
+            integrator.integrate(0.0, 0.0, Box([1.0], [1.0]), NO_U)
+        with pytest.raises(ValueError):
+            integrator.integrate(0.0, 1.0, Box([1.0], [1.0]), NO_U, substeps=0)
+
+    def test_containment_vs_scipy_pendulum(self):
+        """Random concrete pendulum trajectories stay inside the tube."""
+        integrator = TaylorIntegrator(PENDULUM, IntegratorSettings(order=6))
+        box = Box([0.4, -0.1], [0.6, 0.1])
+        u = np.array([0.3])
+        pipe = integrator.integrate(0.0, 1.0, box, u, substeps=10)
+
+        rng = np.random.default_rng(42)
+        for s0 in box.sample(rng, 5):
+            sol = solve_ivp(
+                lambda t, s: pendulum(t, s, u),
+                (0.0, 1.0),
+                s0,
+                rtol=1e-10,
+                atol=1e-12,
+                dense_output=True,
+            )
+            times = np.linspace(0.0, 1.0, 50)
+            states = sol.sol(times).T
+            assert pipe.contains_trajectory(times, states)
+
+    def test_endpoint_tighter_than_range(self):
+        integrator = TaylorIntegrator(PENDULUM)
+        box = Box([0.4, -0.1], [0.6, 0.1])
+        pipe = integrator.integrate(0.0, 0.5, box, np.array([0.0]), substeps=5)
+        last = pipe.steps[-1]
+        assert last.range_box.contains_box(last.end_box)
+
+
+class TestEvents:
+    def test_first_possible_crossing(self):
+        integrator = TaylorIntegrator(DECAY)
+        pipe = integrator.integrate(0.0, 2.0, Box([1.0], [1.0]), NO_U, substeps=20)
+        # exp(-t) < 0.5 from t = ln 2 ~ 0.693
+        t = first_possible_crossing(pipe, lambda box: box[0].lo < 0.5)
+        assert t is not None
+        assert 0.5 < t <= math.log(2.0)
+
+    def test_no_crossing_returns_none(self):
+        integrator = TaylorIntegrator(DECAY)
+        pipe = integrator.integrate(0.0, 1.0, Box([1.0], [1.0]), NO_U, substeps=5)
+        assert first_possible_crossing(pipe, lambda box: box[0].lo < 0.0) is None

@@ -1,0 +1,163 @@
+"""Unit tests for Taylor-jet arithmetic."""
+
+import math
+
+import pytest
+
+from repro.intervals import Interval
+from repro.ode import Jet
+
+
+def as_floats(jet):
+    return [c.mid for c in jet.coeffs]
+
+
+def assert_coeffs_close(jet, expected, tol=1e-9):
+    got = as_floats(jet)
+    assert len(got) == len(expected)
+    for g, e in zip(got, expected):
+        assert g == pytest.approx(e, abs=tol)
+
+
+class TestConstruction:
+    def test_constant(self):
+        jet = Jet.constant(3.0, order=3)
+        assert_coeffs_close(jet, [3.0, 0.0, 0.0, 0.0])
+
+    def test_variable(self):
+        jet = Jet.variable(2.0, order=3)
+        assert_coeffs_close(jet, [2.0, 1.0, 0.0, 0.0])
+
+    def test_variable_order_zero(self):
+        jet = Jet.variable(2.0, order=0)
+        assert jet.order == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Jet([])
+
+    def test_coerce_order_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Jet.coerce(Jet.constant(1.0, 2), order=3)
+
+    def test_coeff_beyond_order_is_zero(self):
+        jet = Jet.constant(1.0, 1)
+        assert jet.coeff(5) == Interval(0.0, 0.0)
+
+    def test_negative_index_raises(self):
+        with pytest.raises(IndexError):
+            Jet.constant(1.0, 1).coeff(-1)
+
+
+class TestRingOps:
+    def test_add_sub(self):
+        t = Jet.variable(1.0, 3)
+        expr = (t + 2.0) - t
+        assert_coeffs_close(expr, [2.0, 0.0, 0.0, 0.0])
+
+    def test_mul_polynomials(self):
+        t = Jet.variable(0.0, 3)  # t
+        expr = (t + 1.0) * (t + 2.0)  # t^2 + 3t + 2
+        assert_coeffs_close(expr, [2.0, 3.0, 1.0, 0.0])
+
+    def test_mul_truncation(self):
+        t = Jet.variable(0.0, 2)
+        expr = t * t * t  # t^3 truncated at order 2 -> 0
+        assert_coeffs_close(expr, [0.0, 0.0, 0.0])
+
+    def test_scalar_ops(self):
+        t = Jet.variable(1.0, 2)
+        assert_coeffs_close(t * 2.0, [2.0, 2.0, 0.0])
+        assert_coeffs_close(2.0 * t, [2.0, 2.0, 0.0])
+        assert_coeffs_close(2.0 - t, [1.0, -1.0, 0.0])
+        assert_coeffs_close(t / 2.0, [0.5, 0.5, 0.0])
+
+    def test_division_by_jet(self):
+        # 1 / (1 - t) = 1 + t + t^2 + ...
+        t = Jet.variable(0.0, 4)
+        expr = 1.0 / (1.0 - t)
+        assert_coeffs_close(expr, [1.0, 1.0, 1.0, 1.0, 1.0])
+
+    def test_division_by_zero_leading_raises(self):
+        t = Jet.variable(0.0, 2)
+        with pytest.raises(ZeroDivisionError):
+            (t + 1.0) / t
+
+    def test_pow(self):
+        t = Jet.variable(0.0, 4)
+        expr = (1.0 + t) ** 3
+        assert_coeffs_close(expr, [1.0, 3.0, 3.0, 1.0, 0.0])
+
+    def test_pow_invalid(self):
+        with pytest.raises(TypeError):
+            Jet.variable(0.0, 2) ** -1
+
+
+class TestElementaryFunctions:
+    def test_sin_taylor_series(self):
+        t = Jet.variable(0.0, 5)
+        s = t.sin()
+        # sin t = t - t^3/6 + t^5/120
+        assert_coeffs_close(s, [0.0, 1.0, 0.0, -1.0 / 6.0, 0.0, 1.0 / 120.0])
+
+    def test_cos_taylor_series(self):
+        t = Jet.variable(0.0, 4)
+        c = t.cos()
+        assert_coeffs_close(c, [1.0, 0.0, -0.5, 0.0, 1.0 / 24.0])
+
+    def test_sin_cos_at_offset(self):
+        a = 0.7
+        t = Jet.variable(a, 3)
+        s, c = t.sin_cos()
+        assert_coeffs_close(
+            s,
+            [math.sin(a), math.cos(a), -math.sin(a) / 2.0, -math.cos(a) / 6.0],
+        )
+        assert_coeffs_close(
+            c,
+            [math.cos(a), -math.sin(a), -math.cos(a) / 2.0, math.sin(a) / 6.0],
+        )
+
+    def test_sin_of_composite(self):
+        # d/dt sin(2t) = 2cos(2t): coefficient 1 must be 2.
+        t = Jet.variable(0.0, 3)
+        s = (t * 2.0).sin()
+        assert_coeffs_close(s, [0.0, 2.0, 0.0, -8.0 / 6.0])
+
+    def test_sqrt_series(self):
+        # sqrt(1 + t) = 1 + t/2 - t^2/8 + t^3/16
+        t = Jet.variable(0.0, 3)
+        r = (1.0 + t).sqrt()
+        assert_coeffs_close(r, [1.0, 0.5, -1.0 / 8.0, 1.0 / 16.0])
+
+    def test_sqrt_nonpositive_raises(self):
+        t = Jet.variable(0.0, 2)
+        with pytest.raises(ValueError):
+            t.sqrt()
+
+    def test_sqrt_squared_identity(self):
+        t = Jet.variable(0.5, 4)
+        u = 1.0 + t
+        roundtrip = u.sqrt().sq()
+        for k in range(5):
+            assert roundtrip.coeff(k).contains(u.coeff(k).mid)
+
+
+class TestEvaluation:
+    def test_evaluate_polynomial(self):
+        t = Jet.variable(0.0, 2)
+        expr = t * t + t * 2.0 + 1.0  # (t+1)^2
+        assert expr.evaluate(3.0).contains(16.0)
+
+    def test_evaluate_interval(self):
+        t = Jet.variable(0.0, 1)
+        rng = t.evaluate(Interval(0.0, 2.0))
+        assert rng.contains(0.0) and rng.contains(2.0)
+
+    def test_interval_coefficients_stay_sound(self):
+        # Jet with an interval initial value: sin over it must contain
+        # sin of any point selection.
+        x = Jet([Interval(0.4, 0.6), Interval(1.0, 1.0)])
+        s = x.sin()
+        assert s.coeff(0).contains(math.sin(0.5))
+        assert s.coeff(1).contains(math.cos(0.45))

@@ -1,0 +1,120 @@
+"""Property-based tests: jet arithmetic vs polynomial ground truth.
+
+A jet with point coefficients is a truncated polynomial; its ring
+operations must agree with numpy polynomial arithmetic (truncated), and
+with interval coefficients every operation must be inclusion-isotonic.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import Interval
+from repro.ode import Jet
+
+coeff = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def point_jets(draw, max_order=4):
+    order = draw(st.integers(min_value=0, max_value=max_order))
+    coeffs = [draw(coeff) for _ in range(order + 1)]
+    return Jet([Interval.point(c) for c in coeffs])
+
+
+def poly_of(jet: Jet) -> np.ndarray:
+    """Ascending-order coefficient array of a point jet."""
+    return np.array([c.mid for c in jet.coeffs])
+
+
+def truncate(poly: np.ndarray, order: int) -> np.ndarray:
+    out = np.zeros(order + 1)
+    usable = min(len(poly), order + 1)
+    out[:usable] = poly[:usable]
+    return out
+
+
+class TestRingAgreesWithPolynomials:
+    @settings(max_examples=60)
+    @given(point_jets(), point_jets())
+    def test_addition(self, a, b):
+        if a.order != b.order:
+            return
+        got = poly_of(a + b)
+        expected = poly_of(a) + poly_of(b)
+        assert np.allclose(got, expected, atol=1e-9)
+
+    @settings(max_examples=60)
+    @given(point_jets(), point_jets())
+    def test_multiplication(self, a, b):
+        if a.order != b.order:
+            return
+        got = poly_of(a * b)
+        full = np.convolve(poly_of(a), poly_of(b))
+        assert np.allclose(got, truncate(full, a.order), atol=1e-6)
+
+    @settings(max_examples=60)
+    @given(point_jets())
+    def test_square_consistency(self, a):
+        assert np.allclose(poly_of(a.sq()), poly_of(a * a), atol=1e-6)
+
+    @settings(max_examples=40)
+    @given(point_jets(max_order=3), st.integers(min_value=0, max_value=3))
+    def test_power_as_repeated_product(self, a, n):
+        expected = Jet.constant(1.0, a.order)
+        for _ in range(n):
+            expected = expected * a
+        assert np.allclose(poly_of(a**n), poly_of(expected), atol=1e-5)
+
+
+class TestDerivativeIdentities:
+    @settings(max_examples=40)
+    @given(st.floats(min_value=-3.0, max_value=3.0, allow_nan=False))
+    def test_sin_cos_derivative_chain(self, x0):
+        """(sin t)' = cos t as Taylor coefficients at any point."""
+        t = Jet.variable(x0, 6)
+        s = t.sin()
+        c = t.cos()
+        for k in range(6):
+            derivative_coeff = s.coeff(k + 1).mid * (k + 1)
+            assert math.isclose(derivative_coeff, c.coeff(k).mid, abs_tol=1e-9)
+
+    @settings(max_examples=40)
+    @given(st.floats(min_value=0.1, max_value=5.0, allow_nan=False))
+    def test_sqrt_square_roundtrip(self, x0):
+        t = Jet.variable(x0, 5)
+        roundtrip = t.sqrt().sq()
+        for k in range(6):
+            assert roundtrip.coeff(k).inflate(1e-7).contains(t.coeff(k).mid)
+
+
+class TestInclusionIsotonicity:
+    @settings(max_examples=40)
+    @given(st.randoms(use_true_random=False))
+    def test_interval_jets_contain_point_jets(self, rnd):
+        """Every op on interval jets contains the same op on any point
+        selection of the coefficients."""
+        rng = np.random.default_rng(rnd.randrange(2**32))
+        order = int(rng.integers(1, 5))
+
+        def make_pair():
+            los = rng.uniform(-2, 2, size=order + 1)
+            his = los + rng.random(order + 1)
+            interval_jet = Jet([Interval(lo, hi) for lo, hi in zip(los, his)])
+            picks = los + rng.random(order + 1) * (his - los)
+            point_jet = Jet([Interval.point(p) for p in picks])
+            return interval_jet, point_jet
+
+        ia, pa = make_pair()
+        ib, pb = make_pair()
+        for op in (lambda x, y: x + y, lambda x, y: x - y, lambda x, y: x * y):
+            wide = op(ia, ib)
+            narrow = op(pa, pb)
+            for k in range(order + 1):
+                assert wide.coeff(k).contains(narrow.coeff(k).mid)
+        wide_sin = ia.sin()
+        narrow_sin = pa.sin()
+        for k in range(order + 1):
+            assert wide_sin.coeff(k).contains(narrow_sin.coeff(k).mid)

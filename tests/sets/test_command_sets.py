@@ -1,0 +1,89 @@
+"""Tests for command-dependent sets (E, T as subsets of R^l x U)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ReachSettings, Verdict, reach_from_box
+from repro.intervals import Box
+from repro.sets import BoxSet, EmptySet, PerCommandSet, resolve_for_command
+from tests.core.fixtures import make_system
+
+
+class TestPerCommandSet:
+    @pytest.fixture
+    def per_command(self):
+        return PerCommandSet(
+            {
+                0: BoxSet(Box([0.0], [1.0])),
+                1: BoxSet(Box([2.0], [3.0])),
+            }
+        )
+
+    def test_for_command_resolution(self, per_command):
+        assert per_command.for_command(0).contains_point(np.array([0.5]))
+        assert not per_command.for_command(1).contains_point(np.array([0.5]))
+        # Unknown command falls back to the default (empty).
+        assert isinstance(per_command.for_command(7), EmptySet)
+
+    def test_conservative_box_queries(self, per_command):
+        box = Box([0.2], [0.8])
+        # Inside for command 0 only: the command-agnostic query must say
+        # neither "contained" nor "disjoint".
+        assert not per_command.contains_box(box)
+        assert not per_command.disjoint_box(box)
+        # Truly disjoint from every command's set.
+        assert per_command.disjoint_box(Box([5.0], [6.0]))
+
+    def test_contains_point_existential(self, per_command):
+        assert per_command.contains_point(np.array([2.5]))
+        assert not per_command.contains_point(np.array([1.5]))
+
+    def test_contains_state_exact(self, per_command):
+        assert per_command.contains_state(np.array([2.5]), 1)
+        assert not per_command.contains_state(np.array([2.5]), 0)
+
+    def test_resolve_for_command_passthrough(self):
+        plain = BoxSet(Box([0.0], [1.0]))
+        assert resolve_for_command(plain, 3) is plain
+
+    def test_resolve_for_command_dispatch(self, per_command):
+        resolved = resolve_for_command(per_command, 1)
+        assert resolved.contains_point(np.array([2.5]))
+
+
+class TestCommandDependentReachability:
+    def test_command_dependent_erroneous_set(self):
+        """E forbids s >= 2.5 only while command "up" is active: the
+        loop *starting* with "up" from s ~ 2 climbs into the hazard
+        during its first period, while the same initial states flying
+        "down" never combine command "up" with s >= 2.5."""
+        system = make_system(horizon_steps=6, target="none")
+        system.erroneous = PerCommandSet(
+            {0: BoxSet(Box([2.5], [np.inf]))},  # hazardous only while "up"
+            default=EmptySet(),
+        )
+        settings = ReachSettings(substeps=4, max_symbolic_states=4)
+
+        flagged = reach_from_box(system, Box([2.0], [2.2]), 0, settings)
+        assert flagged.verdict is Verdict.POSSIBLY_UNSAFE
+
+        # Same states but flying "down": the hazard spec does not apply.
+        clean = reach_from_box(system, Box([2.0], [2.2]), 1, settings)
+        assert clean.verdict is Verdict.SAFE_WITHIN_HORIZON
+
+    def test_command_dependent_target_set(self):
+        """T that only admits termination under the "down" command."""
+        system = make_system(horizon_steps=8)
+        system.target = PerCommandSet(
+            {1: BoxSet(Box([-1.5], [1.5]))},  # settled only if "down"
+            default=EmptySet(),
+        )
+        settings = ReachSettings(substeps=4, max_symbolic_states=4)
+        result = reach_from_box(system, Box([2.0], [2.2]), 1, settings)
+        # The loop dithers around 0 switching commands, so only the
+        # "down"-command states terminate; the run must stay sound
+        # either way and never crash.
+        assert result.verdict in (
+            Verdict.PROVED_SAFE,
+            Verdict.SAFE_WITHIN_HORIZON,
+        )

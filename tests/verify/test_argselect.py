@@ -1,0 +1,59 @@
+"""Tests for the sound argmin/argmax abstraction (Post# core)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import Box
+from repro.verify import certain_argmin, possible_argmax, possible_argmin
+
+
+class TestPossibleArgmin:
+    def test_disjoint_scores_unique(self):
+        box = Box([0.0, 2.0, 4.0], [1.0, 3.0, 5.0])
+        assert possible_argmin(box) == [0]
+        assert certain_argmin(box) == 0
+
+    def test_overlapping_scores_multiple(self):
+        box = Box([0.0, 0.5, 4.0], [1.0, 1.5, 5.0])
+        assert possible_argmin(box) == [0, 1]
+        assert certain_argmin(box) is None
+
+    def test_all_equal_all_possible(self):
+        box = Box([1.0, 1.0], [1.0, 1.0])
+        assert possible_argmin(box) == [0, 1]
+
+    def test_touching_boundary_included(self):
+        # lo_1 == hi_0: index 1 could still tie; must be kept (sound).
+        box = Box([0.0, 1.0], [1.0, 2.0])
+        assert possible_argmin(box) == [0, 1]
+
+    def test_argmax_dual(self):
+        box = Box([0.0, 2.0, 4.0], [1.0, 3.0, 5.0])
+        assert possible_argmax(box) == [2]
+
+
+class TestSoundness:
+    @settings(max_examples=100)
+    @given(st.integers(min_value=1, max_value=6), st.randoms(use_true_random=False))
+    def test_concrete_argmin_always_possible(self, dim, rnd):
+        rng = np.random.default_rng(rnd.randrange(2**32))
+        lo = rng.normal(size=dim)
+        hi = lo + rng.random(dim) * 2.0
+        box = Box(lo, hi)
+        possible = set(possible_argmin(box))
+        for _ in range(30):
+            y = lo + rng.random(dim) * (hi - lo)
+            assert int(np.argmin(y)) in possible
+
+    @settings(max_examples=100)
+    @given(st.integers(min_value=1, max_value=6), st.randoms(use_true_random=False))
+    def test_concrete_argmax_always_possible(self, dim, rnd):
+        rng = np.random.default_rng(rnd.randrange(2**32))
+        lo = rng.normal(size=dim)
+        hi = lo + rng.random(dim) * 2.0
+        box = Box(lo, hi)
+        possible = set(possible_argmax(box))
+        for _ in range(30):
+            y = lo + rng.random(dim) * (hi - lo)
+            assert int(np.argmax(y)) in possible

@@ -1,0 +1,158 @@
+"""Tests for property verification with input-splitting refinement."""
+
+import numpy as np
+import pytest
+
+from repro.intervals import Box
+from repro.nn import Network
+from repro.verify import (
+    BisectionSettings,
+    Outcome,
+    SymbolicPropagator,
+    label_minimal,
+    label_not_minimal,
+    local_robustness,
+    output_lower_bound,
+    output_upper_bound,
+    verify_property,
+)
+
+
+def identity_like_network():
+    """2-in/2-out network computing approximately (x0, x1)."""
+    # relu(x) - relu(-x) = x componentwise.
+    w1 = np.array(
+        [
+            [1.0, 0.0],
+            [-1.0, 0.0],
+            [0.0, 1.0],
+            [0.0, -1.0],
+        ]
+    )
+    w2 = np.array(
+        [
+            [1.0, -1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, -1.0],
+        ]
+    )
+    return Network([w1, w2], [np.zeros(4), np.zeros(2)])
+
+
+class TestVerifyProperty:
+    def test_true_property_verified(self):
+        net = identity_like_network()
+        prop = output_upper_bound(
+            "y0 <= 2", Box([-1.0, -1.0], [1.0, 1.0]), index=0, threshold=2.0
+        )
+        result = verify_property(net, prop)
+        assert result.outcome is Outcome.VERIFIED
+        assert result.regions_unknown == 0
+        assert result.witness is None
+
+    def test_false_property_falsified_with_witness(self):
+        net = identity_like_network()
+        prop = output_upper_bound(
+            "y0 <= 0.5", Box([-1.0, -1.0], [1.0, 1.0]), index=0, threshold=0.5
+        )
+        result = verify_property(net, prop)
+        assert result.outcome is Outcome.FALSIFIED
+        assert result.witness is not None
+        # The witness is a genuine counterexample.
+        assert net.forward(result.witness)[0] > 0.5
+
+    def test_tight_property_needs_splits(self):
+        net = identity_like_network()
+        prop = output_upper_bound(
+            "y0 <= 1", Box([-1.0, -1.0], [0.999, 1.0]), index=0, threshold=1.0
+        )
+        result = verify_property(net, prop)
+        assert result.outcome is Outcome.VERIFIED
+
+    def test_lower_bound_property(self):
+        net = identity_like_network()
+        prop = output_lower_bound(
+            "y1 >= -2", Box([-1.0, -1.0], [1.0, 1.0]), index=1, threshold=-2.0
+        )
+        assert verify_property(net, prop).verified
+
+    def test_depth_exhaustion_gives_unknown(self):
+        net = identity_like_network()
+        # Property true only on a measure-zero boundary: unprovable,
+        # but also hard to falsify by sampling interior points of y0<=1.
+        prop = output_upper_bound(
+            "y0 <= 1", Box([0.0, 0.0], [1.0, 1.0]), index=0, threshold=1.0
+        )
+        settings = BisectionSettings(max_depth=2, samples_per_region=1)
+        result = verify_property(net, prop, settings=settings)
+        assert result.outcome in (Outcome.VERIFIED, Outcome.UNKNOWN)
+
+    def test_propagation_budget_respected(self):
+        net = identity_like_network()
+        prop = output_upper_bound(
+            "y0 <= 0.9999", Box([-1.0, -1.0], [1.0, 1.0]), index=0, threshold=0.9999
+        )
+        settings = BisectionSettings(max_propagations=3, samples_per_region=1)
+        result = verify_property(net, prop, settings=settings)
+        assert result.propagations <= 3
+
+    def test_influence_split_strategy(self):
+        net = identity_like_network()
+        prop = output_upper_bound(
+            "y0 <= 1", Box([-1.0, -1.0], [0.999, 1.0]), index=0, threshold=1.0
+        )
+        settings = BisectionSettings(split_strategy="influence")
+        result = verify_property(net, prop, settings=settings)
+        assert result.outcome is Outcome.VERIFIED
+
+    def test_invalid_strategy_raises(self):
+        with pytest.raises(ValueError):
+            BisectionSettings(split_strategy="magic")
+
+    def test_custom_propagator_accepted(self):
+        net = identity_like_network()
+        prop = output_upper_bound(
+            "y0 <= 2", Box([-1.0, -1.0], [1.0, 1.0]), index=0, threshold=2.0
+        )
+        result = verify_property(net, prop, propagator=SymbolicPropagator(net, "deeppoly"))
+        assert result.verified
+
+
+class TestLabelProperties:
+    def test_label_minimal_verified(self):
+        """Network: y = (x0, x0 + 5): label 0 is always minimal."""
+        net = Network(
+            [np.array([[1.0, 0.0], [-1.0, 0.0]]), np.array([[1.0, -1.0], [1.0, -1.0]])],
+            [np.zeros(2), np.array([0.0, 5.0])],
+        )
+        prop = label_minimal("always-0", Box([-1.0, -1.0], [1.0, 1.0]), 0)
+        assert verify_property(net, prop).verified
+
+    def test_label_not_minimal_verified(self):
+        net = Network(
+            [np.array([[1.0, 0.0], [-1.0, 0.0]]), np.array([[1.0, -1.0], [1.0, -1.0]])],
+            [np.zeros(2), np.array([0.0, 5.0])],
+        )
+        prop = label_not_minimal("never-1", Box([-1.0, -1.0], [1.0, 1.0]), 1)
+        assert verify_property(net, prop).verified
+
+    def test_local_robustness(self):
+        rng = np.random.default_rng(10)
+        net = Network.random([3, 10, 4], rng)
+        center = rng.normal(size=3)
+        label = int(np.argmin(net.forward(center)))
+        prop = local_robustness("robust", center, 1e-4, label)
+        result = verify_property(net, prop)
+        assert result.outcome is Outcome.VERIFIED
+
+    def test_local_robustness_falsified_at_boundary(self):
+        """A decision boundary inside the ball must be detected."""
+        # y = (x0, -x0): argmin flips at x0 = 0.
+        net = Network(
+            [np.array([[1.0], [-1.0]]), np.array([[1.0, -1.0], [-1.0, 1.0]])],
+            [np.zeros(2), np.zeros(2)],
+        )
+        center = np.array([0.05])
+        label = int(np.argmin(net.forward(center)))
+        prop = local_robustness("fragile", center, 0.2, label)
+        result = verify_property(net, prop)
+        assert result.outcome is Outcome.FALSIFIED

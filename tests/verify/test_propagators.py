@@ -1,0 +1,138 @@
+"""Soundness and tightness tests for the NN abstract transformers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import Box
+from repro.nn import Network
+from repro.verify import IntervalPropagator, SymbolicPropagator, interval_forward
+
+
+def random_network(rng, sizes=None):
+    sizes = sizes or [3, 12, 12, 4]
+    return Network.random(sizes, rng)
+
+
+def random_box(rng, dim, scale=1.0):
+    lo = rng.normal(size=dim) * scale
+    hi = lo + rng.random(dim) * scale
+    return Box(lo, hi)
+
+
+class TestIntervalPropagator:
+    def test_contains_concrete_outputs(self):
+        rng = np.random.default_rng(0)
+        net = random_network(rng)
+        box = random_box(rng, 3)
+        out = interval_forward(net, box)
+        for x in box.sample(rng, 200):
+            y = net.forward(x)
+            assert out.contains_point(y)
+
+    def test_point_box_is_tight(self):
+        rng = np.random.default_rng(1)
+        net = random_network(rng)
+        x = rng.normal(size=3)
+        out = interval_forward(net, Box.from_point(x))
+        y = net.forward(x)
+        assert out.contains_point(y)
+        assert out.max_width < 1e-8
+
+    def test_dimension_mismatch_raises(self):
+        net = random_network(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            interval_forward(net, Box([0.0], [1.0]))
+
+    def test_callable_wrapper(self):
+        rng = np.random.default_rng(2)
+        net = random_network(rng)
+        prop = IntervalPropagator(net)
+        box = random_box(rng, 3)
+        assert prop(box).contains_box(Box.from_point(net.forward(box.center)))
+
+
+class TestSymbolicPropagator:
+    @pytest.mark.parametrize("relaxation", ["reluval", "deeppoly"])
+    def test_contains_concrete_outputs(self, relaxation):
+        rng = np.random.default_rng(3)
+        for trial in range(5):
+            net = random_network(rng)
+            box = random_box(rng, 3, scale=0.5 + trial * 0.5)
+            prop = SymbolicPropagator(net, relaxation)
+            out = prop(box)
+            for x in box.sample(rng, 100):
+                assert out.contains_point(net.forward(x))
+
+    def test_tighter_than_ibp(self):
+        """The reason the paper uses ReluVal and not plain intervals."""
+        rng = np.random.default_rng(4)
+        widths_symbolic = []
+        widths_ibp = []
+        for _ in range(10):
+            net = random_network(rng, [4, 20, 20, 20, 3])
+            box = random_box(rng, 4, scale=0.3)
+            widths_symbolic.append(SymbolicPropagator(net)(box).max_width)
+            widths_ibp.append(interval_forward(net, box).max_width)
+        assert np.mean(widths_symbolic) < np.mean(widths_ibp)
+
+    def test_exact_on_stable_network(self):
+        """If no ReLU is unstable the symbolic bounds are near-exact."""
+        rng = np.random.default_rng(5)
+        net = random_network(rng, [2, 8, 2])
+        # Shift biases strongly positive so every neuron stays active.
+        net.biases[0][:] = 50.0
+        box = Box([-0.1, -0.1], [0.1, 0.1])
+        out = SymbolicPropagator(net)(box)
+        corners = net.forward_batch(box.corners())
+        exact = Box.hull_of_points(corners)
+        assert out.contains_box(exact)
+        assert out.max_width <= exact.max_width * (1.0 + 1e-6) + 1e-9
+
+    def test_unknown_relaxation_raises(self):
+        net = random_network(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            SymbolicPropagator(net, "zonotope")
+
+    def test_dimension_mismatch_raises(self):
+        net = random_network(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            SymbolicPropagator(net)(Box([0.0], [1.0]))
+
+    def test_input_gradient_mask_shape(self):
+        rng = np.random.default_rng(6)
+        net = random_network(rng)
+        mask = SymbolicPropagator(net).input_gradient_mask(random_box(rng, 3))
+        assert mask.shape == (3,)
+        assert np.all(mask >= 0.0)
+
+    def test_monotone_in_box_size(self):
+        """A larger input box can only widen the output bounds."""
+        rng = np.random.default_rng(7)
+        net = random_network(rng)
+        prop = SymbolicPropagator(net)
+        small = Box([-0.1, 0.0, 0.2], [0.1, 0.3, 0.4])
+        large = small.inflate(0.2)
+        assert prop(large).contains_box(prop(small)) or prop(large).volume() >= prop(
+            small
+        ).volume() * 0.99
+
+
+class TestPropertyBasedSoundness:
+    @settings(max_examples=30, deadline=None)
+    @given(st.randoms(use_true_random=False), st.sampled_from(["reluval", "deeppoly"]))
+    def test_random_architectures(self, rnd, relaxation):
+        rng = np.random.default_rng(rnd.randrange(2**32))
+        depth = rng.integers(1, 4)
+        sizes = [int(rng.integers(1, 5))] + [
+            int(rng.integers(1, 16)) for _ in range(depth)
+        ] + [int(rng.integers(1, 5))]
+        net = random_network(rng, sizes)
+        box = random_box(rng, sizes[0], scale=float(rng.random() * 2 + 0.01))
+        sym = SymbolicPropagator(net, relaxation)(box)
+        ibp = interval_forward(net, box)
+        for x in box.sample(rng, 30):
+            y = net.forward(x)
+            assert sym.contains_point(y)
+            assert ibp.contains_point(y)

@@ -1,0 +1,148 @@
+"""Tests for the zonotope abstract domain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import Box
+from repro.nn import Network
+from repro.verify import (
+    IntervalPropagator,
+    Zonotope,
+    ZonotopePropagator,
+)
+
+
+def random_network(rng, sizes=None):
+    return Network.random(sizes or [3, 12, 12, 4], rng)
+
+
+def random_box(rng, dim, scale=1.0):
+    lo = rng.normal(size=dim) * scale
+    return Box(lo, lo + rng.random(dim) * scale)
+
+
+class TestZonotopePrimitive:
+    def test_from_box_roundtrip(self):
+        box = Box([-1.0, 2.0], [1.0, 4.0])
+        zono = Zonotope.from_box(box)
+        back = zono.to_box()
+        assert back.contains_box(box)
+        assert back.max_width <= box.max_width * (1 + 1e-9) + 1e-9
+
+    def test_affine_exactness(self):
+        box = Box([-1.0, -1.0], [1.0, 1.0])
+        w = np.array([[1.0, 1.0], [1.0, -1.0]])
+        b = np.array([0.5, -0.5])
+        zono = Zonotope.from_box(box).affine(w, b)
+        out = zono.to_box()
+        # Exact range: both outputs in [-2, 2] + bias.
+        assert out[0].contains(2.5) and out[0].contains(-1.5)
+        assert out[0].width <= 4.0 + 1e-9
+
+    def test_affine_keeps_correlations(self):
+        box = Box([-1.0], [1.0])
+        w1 = np.array([[1.0], [1.0]])  # duplicate x
+        w2 = np.array([[1.0, -1.0]])  # x - x = 0
+        zono = Zonotope.from_box(box).affine(w1, np.zeros(2)).affine(w2, np.zeros(1))
+        out = zono.to_box()
+        assert out[0].width < 1e-9  # intervals would give width 4
+
+    def test_relu_cases(self):
+        box = Box([-2.0, 1.0, -3.0], [-1.0, 2.0, 3.0])
+        out = Zonotope.from_box(box).relu().to_box()
+        assert out[0].lo >= -1e-300 and out[0].hi <= 1e-300  # inactive -> ~0
+        assert out[1].contains(1.5)  # active unchanged
+        assert out[2].lo <= 0.0 + 1e-12 and out[2].hi >= 3.0 - 1e-9  # unstable
+
+    def test_reduce_order_sound(self):
+        rng = np.random.default_rng(0)
+        zono = Zonotope(
+            center=rng.normal(size=3),
+            generators=rng.normal(size=(3, 40)),
+            box_dev=np.zeros(3),
+        )
+        reduced = zono.reduce_order(10)
+        assert reduced.num_generators == 10
+        # Soundness: every point of the original set (sampled at random
+        # eps corners, where the extremes live) stays inside the
+        # reduced set's box.
+        reduced_box = reduced.to_box()
+        for _ in range(200):
+            eps = rng.choice([-1.0, 1.0], size=40)
+            point = zono.center + zono.generators @ eps
+            assert reduced_box.contains_point(point)
+
+
+class TestZonotopePropagator:
+    def test_contains_concrete_outputs(self):
+        rng = np.random.default_rng(1)
+        for trial in range(5):
+            net = random_network(rng)
+            box = random_box(rng, 3, scale=0.5 + 0.5 * trial)
+            out = ZonotopePropagator(net)(box)
+            for x in box.sample(rng, 100):
+                assert out.contains_point(net.forward(x))
+
+    def test_tighter_than_ibp_on_deep_nets(self):
+        rng = np.random.default_rng(2)
+        wins = 0
+        for _ in range(8):
+            net = random_network(rng, [4, 20, 20, 20, 3])
+            box = random_box(rng, 4, scale=0.3)
+            z = ZonotopePropagator(net)(box).max_width
+            i = IntervalPropagator(net)(box).max_width
+            wins += z <= i
+        assert wins >= 6
+
+    def test_order_reduction_path(self):
+        rng = np.random.default_rng(3)
+        net = random_network(rng, [3, 30, 30, 30, 2])
+        box = random_box(rng, 3, scale=1.0)
+        tight = ZonotopePropagator(net, max_generators=256)(box)
+        reduced = ZonotopePropagator(net, max_generators=8)(box)
+        # Reduction can only lose precision, never soundness.
+        for x in box.sample(rng, 50):
+            y = net.forward(x)
+            assert tight.contains_point(y)
+            assert reduced.contains_point(y)
+        assert reduced.volume() >= tight.volume() * 0.99
+
+    def test_dimension_mismatch(self):
+        net = random_network(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            ZonotopePropagator(net)(Box([0.0], [1.0]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.randoms(use_true_random=False))
+    def test_property_soundness(self, rnd):
+        rng = np.random.default_rng(rnd.randrange(2**32))
+        depth = int(rng.integers(1, 4))
+        sizes = (
+            [int(rng.integers(1, 5))]
+            + [int(rng.integers(1, 16)) for _ in range(depth)]
+            + [int(rng.integers(1, 5))]
+        )
+        net = random_network(rng, sizes)
+        box = random_box(rng, sizes[0], scale=float(rng.random() * 2 + 0.01))
+        out = ZonotopePropagator(net)(box)
+        for x in box.sample(rng, 30):
+            assert out.contains_point(net.forward(x))
+
+    def test_usable_as_controller_propagator(self, tiny_acas):
+        """The zonotope domain plugs into the controller factory."""
+        from repro.acasxu import build_controller
+
+        controller = build_controller(tiny_acas.controller.networks)
+        controller.propagators = [
+            ZonotopePropagator(n) for n in controller.networks
+        ]
+        box = Box(
+            [-300.0, 6800.0, 2.9, 700.0, 600.0],
+            [300.0, 7400.0, 3.2, 700.0, 600.0],
+        )
+        reachable = controller.execute_abstract(box, 0)
+        rng = np.random.default_rng(4)
+        for s in box.sample(rng, 30):
+            assert controller.execute(s, 0) in reachable
