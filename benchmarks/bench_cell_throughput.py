@@ -31,7 +31,7 @@ def cells(tiny_system):
 
 
 @pytest.mark.parametrize("kind", ["easy-departing", "hard-side-approach", "hard-head-on"])
-def test_cell_latency(benchmark, tiny_system, cells, kind):
+def test_cell_latency(benchmark, tiny_system, cells, kind, phase_breakdown):
     box, command, _tags = cells[kind]
     settings = RunnerSettings(
         reach=ReachSettings(substeps=10, max_symbolic_states=5)
@@ -45,6 +45,10 @@ def test_cell_latency(benchmark, tiny_system, cells, kind):
         if benchmark.stats is not None
         else None
     )
+    # One instrumented rerun so the BENCH json carries the per-phase
+    # breakdown (integrate / controller / join / ...) behind the number.
+    _, breakdown = phase_breakdown(verify_cell, tiny_system, box, command, settings)
+    benchmark.extra_info["phases"] = breakdown["phases"]
 
 
 def test_refined_cell_latency(benchmark, tiny_system, cells):

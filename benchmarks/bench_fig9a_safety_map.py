@@ -6,7 +6,7 @@ times the per-cell kernel (one full Algorithm 3 run from one initial
 cell) that the map is made of.
 """
 
-from repro.core import ReachSettings, Verdict, reach_from_box
+from repro.core import ReachSettings, reach_from_box
 from repro.experiments import fig9a_grid, render_fig9a
 
 

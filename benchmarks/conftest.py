@@ -52,3 +52,34 @@ def representative_cell():
     # A side-approach arc: the paper's "hardest" region.
     box, command, _tags = cells[4 * 4 + 1]
     return box, command
+
+
+@pytest.fixture
+def phase_breakdown():
+    """Run a callable under a metrics-only recorder and return
+    ``(result, phases)``, where ``phases`` maps span names to
+    ``{total_s, count, p50_s, p95_s}``. Benches attach this to
+    ``benchmark.extra_info`` so BENCH_*.json entries carry a per-phase
+    time breakdown alongside the headline number.
+    """
+    from repro.obs import Recorder, use_recorder
+
+    def run(fn, *args, **kwargs):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            result = fn(*args, **kwargs)
+        snapshot = recorder.metrics.snapshot()
+        phases = {
+            name[: -len(".seconds")]: {
+                "total_s": hist["sum"],
+                "count": hist["count"],
+                "p50_s": hist["p50"],
+                "p95_s": hist["p95"],
+            }
+            for name, hist in snapshot["histograms"].items()
+            if name.endswith(".seconds")
+        }
+        counters = snapshot["counters"]
+        return result, {"phases": phases, "counters": counters}
+
+    return run

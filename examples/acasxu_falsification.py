@@ -16,7 +16,6 @@ import math
 import numpy as np
 
 from repro.acasxu import (
-    ADVISORIES,
     TINY_SCENARIO,
     build_system,
     initial_cells,

@@ -28,7 +28,6 @@ from repro.acasxu import (
 )
 from repro.baselines import simulate
 from repro.core import (
-    MonitorAdvice,
     ReachSettings,
     RefinementPolicy,
     RunnerSettings,

@@ -157,7 +157,7 @@ def main() -> None:
         falls += trajectory.reached_error
     print(f"  falls: {falls}/8")
 
-    print(f"\nThe same pipeline that verified ACAS Xu proves the pendulum "
+    print("\nThe same pipeline that verified ACAS Xu proves the pendulum "
           "loop safe cell by cell — including the partitioning lesson: "
           "provability is a function of cell size (Section 7.1).")
 

@@ -14,6 +14,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.nn`         — ReLU networks, trainer, .nnet format;
 * :mod:`repro.verify`     — NN abstract interpretation (ReluVal substitute);
 * :mod:`repro.sets`       — state-set specifications (I, E, T);
+* :mod:`repro.obs`        — metrics, tracing and campaign progress;
 * :mod:`repro.core`       — the paper's procedure (Algorithms 1-3);
 * :mod:`repro.acasxu`     — the ACAS Xu use case;
 * :mod:`repro.baselines`  — simulation, falsification, discrete baseline;
@@ -29,6 +30,7 @@ __all__ = [
     "experiments",
     "intervals",
     "nn",
+    "obs",
     "ode",
     "sets",
     "verify",

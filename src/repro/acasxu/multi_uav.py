@@ -27,7 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core import ClosedLoopSystem, CommandSet, Plant
-from ..intervals import Box, Interval, icos, isin
+from ..intervals import Box, icos, isin
 from ..nn import Network
 from ..ode import IntegratorSettings, ODESystem, TaylorIntegrator
 from ..ode.ops import gcos, gsin

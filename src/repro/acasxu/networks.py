@@ -12,15 +12,26 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
 from ..nn import Network, TrainingConfig, load_npz, save_npz, train_regression
+from ..obs import get_recorder
 from .controller import normalize_inputs
 from .mdp import NUM_ADVISORIES, AcasTables, TableConfig, generate_tables
+
+logger = logging.getLogger("repro.acasxu")
+
+#: Exceptions a corrupt/truncated ``.npz`` can raise out of ``np.load``:
+#: a torn write is not a zip (``BadZipFile``), a short file trips
+#: ``OSError``/``EOFError``, and a file with the wrong arrays raises
+#: ``KeyError``/``ValueError`` when unpacked.
+_CACHE_LOAD_ERRORS = (zipfile.BadZipFile, OSError, EOFError, KeyError, ValueError)
 
 
 @dataclass(frozen=True)
@@ -114,6 +125,16 @@ def train_network_bank(
     return networks
 
 
+def _discard_corrupt(path: Path, error: Exception) -> None:
+    """Log + emit a cache-corruption event and delete the bad entry."""
+    logger.warning("corrupt cache entry %s (%s); regenerating", path, error)
+    get_recorder().event(
+        "cache.corrupt", path=str(path), error=type(error).__name__
+    )
+    get_recorder().inc("acasxu.cache.corrupt")
+    path.unlink(missing_ok=True)
+
+
 def load_or_train_networks(
     table_config: TableConfig | None = None,
     network_config: NetworkBankConfig | None = None,
@@ -122,8 +143,12 @@ def load_or_train_networks(
     """Load the network bank (and tables) from cache, or build them.
 
     Returns ``(networks, tables)``. The cache key covers both configs,
-    so different resolutions/architectures coexist.
+    so different resolutions/architectures coexist. Corrupt cache
+    entries (truncated ``.npz`` from an interrupted write, bad bytes on
+    disk) are detected, reported as ``cache.corrupt`` events, deleted
+    and regenerated instead of crashing the caller.
     """
+    rec = get_recorder()
     table_config = table_config or TableConfig()
     network_config = network_config or PAPER_NETWORKS
     cache_dir = cache_dir or default_cache_dir()
@@ -132,17 +157,35 @@ def load_or_train_networks(
     bank_dir.mkdir(parents=True, exist_ok=True)
 
     tables_path = bank_dir / "tables.npz"
+    tables = None
     if tables_path.exists():
-        tables = AcasTables.load(tables_path, table_config)
-    else:
-        tables = generate_tables(table_config)
+        try:
+            tables = AcasTables.load(tables_path, table_config)
+            rec.inc("acasxu.cache.hit")
+        except _CACHE_LOAD_ERRORS as exc:
+            _discard_corrupt(tables_path, exc)
+    if tables is None:
+        rec.inc("acasxu.cache.miss")
+        with rec.span("tables.generate", key=key):
+            tables = generate_tables(table_config)
         tables.save(tables_path)
 
     paths = [bank_dir / f"network_{i}.npz" for i in range(NUM_ADVISORIES)]
     if all(p.exists() for p in paths):
-        return [load_npz(p) for p in paths], tables
+        networks: list[Network] = []
+        for path in paths:
+            try:
+                networks.append(load_npz(path))
+            except _CACHE_LOAD_ERRORS as exc:
+                _discard_corrupt(path, exc)
+                break
+        if len(networks) == len(paths):
+            rec.inc("acasxu.cache.hit")
+            return networks, tables
+    rec.inc("acasxu.cache.miss")
 
-    networks = train_network_bank(tables, network_config)
+    with rec.span("networks.train", key=key):
+        networks = train_network_bank(tables, network_config)
     for net, path in zip(networks, paths):
         save_npz(net, path)
     return networks, tables

@@ -7,16 +7,73 @@ Subcommands:
 * ``show``     — render a saved report as the paper's figures;
 * ``falsify``  — hunt for concrete counterexamples in unproved cells;
 * ``simulate`` — run and print one concrete encounter;
-* ``fig7``     — the substep-tightness ablation.
+* ``fig7``     — the substep-tightness ablation;
+* ``stats``    — summarize a JSONL trace (per-phase timings, slow cells).
+
+``verify``, ``falsify`` and ``evaluate`` accept ``--trace-out`` /
+``--metrics-out`` / ``--log-level``, which install a live
+:class:`repro.obs.Recorder` for the duration of the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import math
+import os
 import sys
 
 import numpy as np
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        help="write a JSONL span/event trace here (see `repro stats`)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        help="write the final metrics snapshot (counters/histograms) as JSON here",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="logging level for the repro.* loggers (default: warning)",
+    )
+
+
+def _setup_observability(args: argparse.Namespace):
+    """Install a live recorder per the obs flags; returns it (or the
+    ambient no-op recorder when no flag was passed)."""
+    from .obs import Recorder, get_recorder, set_recorder
+
+    if getattr(args, "log_level", None):
+        logging.basicConfig(
+            level=getattr(logging, args.log_level.upper()),
+            format="%(asctime)s %(levelname)s %(name)s %(message)s",
+            stream=sys.stderr,
+        )
+        logging.getLogger("repro").setLevel(getattr(logging, args.log_level.upper()))
+    if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
+        recorder = Recorder(trace_path=args.trace_out)
+        set_recorder(recorder)
+        return recorder
+    return get_recorder()
+
+
+def _teardown_observability(args: argparse.Namespace, recorder) -> None:
+    from .obs import set_recorder
+
+    if not recorder.enabled:
+        return
+    if getattr(args, "metrics_out", None):
+        recorder.metrics.to_json(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    recorder.close()
+    set_recorder(None)
+    if getattr(args, "trace_out", None):
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
 
 
 def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
@@ -35,7 +92,7 @@ def _scenario(name: str):
 
 
 def cmd_train(args: argparse.Namespace) -> int:
-    from .acasxu import LookupTableController, load_or_train_networks, normalize_inputs
+    from .acasxu import load_or_train_networks, normalize_inputs
 
     scenario = _scenario(args.scenario)
     networks, tables = load_or_train_networks(
@@ -59,8 +116,19 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    import time
+
     from .core import ReachSettings, RefinementPolicy, RunnerSettings
     from .experiments import ExperimentConfig, render_report, run_experiment
+    from .obs import CampaignProgress, Recorder, set_recorder
+
+    recorder = _setup_observability(args)
+    if not recorder.enabled:
+        # Metrics are always on for `verify`: the end-of-run summary
+        # (verdicts, p95 cell time) is sourced from them. Without
+        # --trace-out no trace file is written.
+        recorder = Recorder()
+        set_recorder(recorder)
 
     config = ExperimentConfig(
         name="cli",
@@ -76,15 +144,28 @@ def cmd_verify(args: argparse.Namespace) -> int:
         ),
     )
 
-    def progress(done: int, total: int) -> None:
-        if done % max(total // 20, 1) == 0 or done == total:
-            print(f"  {done}/{total} cells", file=sys.stderr)
-
+    progress = CampaignProgress(stream=sys.stderr)
+    started = time.perf_counter()
     report = run_experiment(config, progress=progress)
+    wall = time.perf_counter() - started
     print(render_report(report))
+
+    cell_hist = recorder.metrics.histograms.get("cell.seconds")
+    print("\nrun summary:")
+    print(
+        f"  cells: {progress.proved} proved, {progress.unproved} unproved, "
+        f"{progress.witnessed} witnessed (of {report.total_cells})"
+    )
+    print(f"  wall time: {wall:.2f}s ({args.workers} workers)")
+    if cell_hist is not None and cell_hist.count:
+        print(
+            f"  cell time: p50 {cell_hist.p50:.3f}s, p95 {cell_hist.p95:.3f}s, "
+            f"max {cell_hist.max_value:.3f}s over {cell_hist.count} reach runs"
+        )
     if args.out:
         report.to_json(args.out)
         print(f"\nreport written to {args.out}")
+    _teardown_observability(args, recorder)
     return 0
 
 
@@ -105,6 +186,7 @@ def cmd_falsify(args: argparse.Namespace) -> int:
     from .baselines import cross_entropy_falsification, min_distance_robustness
     from .intervals import Box
 
+    recorder = _setup_observability(args)
     system = build_system(_scenario(args.scenario))
 
     def decode(params):
@@ -141,6 +223,7 @@ def cmd_falsify(args: argparse.Namespace) -> int:
         )
     else:
         print("no counterexample found")
+    _teardown_observability(args, recorder)
     return 0
 
 
@@ -205,7 +288,7 @@ def cmd_props(args: argparse.Namespace) -> int:
     print(
         f"\n{len(result.verified_names())} verified, "
         f"{len(result.falsified_names())} falsified "
-        f"(falsified phi-properties localize where the distilled "
+        "(falsified phi-properties localize where the distilled "
         "networks deviate from the tables)"
     )
     return 0
@@ -214,6 +297,7 @@ def cmd_props(args: argparse.Namespace) -> int:
 def cmd_evaluate(args: argparse.Namespace) -> int:
     from .acasxu import build_system, evaluate_controller
 
+    recorder = _setup_observability(args)
     system = build_system(_scenario(args.scenario))
     stats = evaluate_controller(
         system,
@@ -230,6 +314,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     print(f"alert rate: {stats.alert_rate:.1%}, "
           f"mean alert duration: {stats.mean_alert_steps:.1f} steps")
     print(f"mean minimum separation: {stats.mean_min_separation_ft:.0f} ft")
+    _teardown_observability(args, recorder)
     return 0
 
 
@@ -245,6 +330,26 @@ def cmd_export(args: argparse.Namespace) -> int:
     for path in paths:
         print(path)
     print(f"\n{len(paths)} networks written in .nnet format")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .obs import render_stats, summarize_trace_file
+
+    trace_path = Path(args.trace)
+    if not trace_path.exists():
+        print(f"no such trace: {trace_path}", file=sys.stderr)
+        return 1
+    summary = summarize_trace_file(trace_path, top_cells=args.top)
+    metrics_snapshot = None
+    if args.metrics:
+        with open(args.metrics) as handle:
+            metrics_snapshot = json.load(handle)
+    print(f"trace: {trace_path}")
+    print(render_stats(summary, metrics_snapshot))
     return 0
 
 
@@ -269,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--gamma", type=int, default=5, help="the paper's Gamma")
     p_verify.add_argument("--workers", type=int, default=1)
     p_verify.add_argument("--out", help="write the JSON report here")
+    _add_obs_arguments(p_verify)
     p_verify.set_defaults(fn=cmd_verify)
 
     p_show = sub.add_parser("show", help="render a saved JSON report")
@@ -281,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_falsify.add_argument("--population", type=int, default=40)
     p_falsify.add_argument("--generations", type=int, default=10)
     p_falsify.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(p_falsify)
     p_falsify.set_defaults(fn=cmd_falsify)
 
     p_sim = sub.add_parser("simulate", help="run one concrete encounter")
@@ -309,7 +416,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--encounters", type=int, default=200)
     p_eval.add_argument("--seed", type=int, default=0)
     p_eval.add_argument("--threat-fraction", type=float, default=0.5)
+    _add_obs_arguments(p_eval)
     p_eval.set_defaults(fn=cmd_evaluate)
+
+    p_stats = sub.add_parser(
+        "stats", help="summarize a JSONL trace (phase timings, slowest cells)"
+    )
+    p_stats.add_argument("trace", help="trace file written via --trace-out")
+    p_stats.add_argument(
+        "--metrics", help="metrics snapshot written via --metrics-out"
+    )
+    p_stats.add_argument(
+        "--top", type=int, default=10, help="how many slowest cells to list"
+    )
+    p_stats.set_defaults(fn=cmd_stats)
 
     p_export = sub.add_parser(
         "export", help="write the trained bank as .nnet files"
@@ -323,7 +443,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # ``repro stats ... | head`` closing stdout early is not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

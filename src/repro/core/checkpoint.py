@@ -11,14 +11,19 @@ geometry, so a changed partition invalidates stale entries).
 from __future__ import annotations
 
 import json
+import logging
+import os
 from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..intervals import Box
+from ..obs import get_recorder
 from .result import CellResult, VerificationReport
 from .runner import RunnerSettings, verify_cell
+
+logger = logging.getLogger("repro.core.checkpoint")
 
 
 def _cell_key(box: Box, command: int) -> str:
@@ -31,23 +36,40 @@ def _cell_key(box: Box, command: int) -> str:
 
 
 def load_journal(path: str | Path) -> dict[str, CellResult]:
-    """Read finished cells from a journal (missing file = empty)."""
+    """Read finished cells from a journal (missing file = empty).
+
+    Malformed lines — a torn final write from an interrupted run, a
+    partially-synced page after a crash — are *skipped with a warning*
+    rather than aborting the resume: one bad line must not cost a
+    campaign its journal. Skips are logged and emitted as
+    ``journal.malformed_line`` events on the current recorder.
+    """
     path = Path(path)
+    rec = get_recorder()
     finished: dict[str, CellResult] = {}
     if not path.exists():
         return finished
     with open(path) as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 entry = json.loads(line)
-            except json.JSONDecodeError:
-                # A torn final line from an interrupted run is expected;
-                # everything before it is intact.
-                break
-            finished[entry["key"]] = CellResult.from_dict(entry["result"])
+                key = entry["key"]
+                result = CellResult.from_dict(entry["result"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                logger.warning(
+                    "%s:%d: skipping malformed journal line (%s)", path, lineno, exc
+                )
+                rec.event(
+                    "journal.malformed_line",
+                    path=str(path),
+                    line=lineno,
+                    error=type(exc).__name__,
+                )
+                continue
+            finished[key] = result
     return finished
 
 
@@ -57,6 +79,7 @@ def verify_partition_checkpointed(
     journal_path: str | Path,
     settings: RunnerSettings | None = None,
     progress: Callable[[int, int], None] | None = None,
+    fsync: bool = False,
 ) -> VerificationReport:
     """Like :func:`~repro.core.runner.verify_partition`, resumable.
 
@@ -64,13 +87,23 @@ def verify_partition_checkpointed(
     verified (serially — the journal is the source of truth, and cell
     results are appended as soon as they finish) and journaled. The
     returned report always covers every requested cell, in order.
+
+    With ``fsync=True`` every appended entry is fsync'd to stable
+    storage before the next cell starts — slower, but a power loss can
+    then cost at most the in-flight cell.
     """
     settings = settings or RunnerSettings()
+    rec = get_recorder()
     journal_path = Path(journal_path)
     journal_path.parent.mkdir(parents=True, exist_ok=True)
     finished = load_journal(journal_path)
+    if finished:
+        rec.event(
+            "journal.resume", path=str(journal_path), finished_cells=len(finished)
+        )
 
     system = None
+    skipped = 0
     results: list[CellResult] = []
     with open(journal_path, "a") as journal:
         for i, cell in enumerate(cells):
@@ -81,6 +114,8 @@ def verify_partition_checkpointed(
             if cached is not None:
                 cached.tags.update(tags)
                 results.append(cached)
+                skipped += 1
+                rec.inc("checkpoint.cells_skipped")
             else:
                 if system is None:
                     system = system_factory()
@@ -90,9 +125,19 @@ def verify_partition_checkpointed(
                     json.dumps({"key": key, "result": result.to_dict()}) + "\n"
                 )
                 journal.flush()
+                if fsync:
+                    os.fsync(journal.fileno())
                 results.append(result)
+                rec.inc("checkpoint.cells_verified")
             if progress is not None:
-                progress(i + 1, len(cells))
+                if hasattr(progress, "update"):
+                    progress.update(i + 1, len(cells), results[-1])
+                else:
+                    progress(i + 1, len(cells))
+    if skipped:
+        logger.info(
+            "resumed from %s: %d/%d cells skipped", journal_path, skipped, len(cells)
+        )
 
     report = VerificationReport(cells=results)
     report.settings_summary = {

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..intervals import Box
+from ..obs import get_recorder
 from ..sets import resolve_for_command
 from .symbolic import SymbolicSet, SymbolicState, resize
 from .system import ClosedLoopSystem
@@ -123,6 +124,7 @@ def reach(
     if len(initial) == 0:
         raise ValueError("the initial symbolic set is empty")
 
+    rec = get_recorder()
     started = time.perf_counter()
     result = ReachResult(
         verdict=Verdict.SAFE_WITHIN_HORIZON,
@@ -141,16 +143,21 @@ def reach(
         result.step_sets.append(current.copy())
 
     for j in range(system.horizon_steps):
-        result.joins_performed += resize(current, settings.max_symbolic_states)
+        with rec.span("join", step=j, states=len(current)):
+            joins = resize(current, settings.max_symbolic_states)
+        result.joins_performed += joins
+        if joins:
+            rec.inc("reach.joins", joins)
 
         # E and T may be command-dependent (subsets of R^l x U,
         # Section 4.1): resolve them against each state's concrete
         # command (exact, since symbolic states carry commands).
-        active = [
-            s
-            for s in current
-            if not resolve_for_command(target, s.command).contains_box(s.box)
-        ]
+        with rec.span("terminate", step=j):
+            active = [
+                s
+                for s in current
+                if not resolve_for_command(target, s.command).contains_box(s.box)
+            ]
         if not active:
             result.has_terminated = True
             result.termination_step = j
@@ -160,14 +167,16 @@ def reach(
         for state in active:
             erroneous_now = resolve_for_command(erroneous, state.command)
             command_value = system.commands.value(state.command)
-            pipe = system.plant.flow(
-                j * period,
-                (j + 1) * period,
-                state.box,
-                command_value,
-                settings.substeps,
-            )
+            with rec.span("integrate", step=j, command=state.command):
+                pipe = system.plant.flow(
+                    j * period,
+                    (j + 1) * period,
+                    state.box,
+                    command_value,
+                    settings.substeps,
+                )
             result.integrations += len(pipe.steps)
+            rec.inc("reach.integrations", len(pipe.steps))
             for step in pipe.steps:
                 if settings.record_sets:
                     result.tube.append(
@@ -175,6 +184,12 @@ def reach(
                     )
                 if not erroneous_now.disjoint_box(step.range_box):
                     unsafe_found = True
+                    rec.event(
+                        "reach.unsafe",
+                        step=j,
+                        t=step.t_start,
+                        command=state.command,
+                    )
                     if result.unsafe_time is None:
                         result.unsafe_time = step.t_start
                         result.unsafe_command = state.command
@@ -184,14 +199,19 @@ def reach(
                         result.elapsed_seconds = time.perf_counter() - started
                         return result
 
-            next_commands = system.controller.execute_abstract(state.box, state.command)
+            with rec.span("controller", step=j, command=state.command):
+                next_commands = system.controller.execute_abstract(
+                    state.box, state.command
+                )
             result.controller_evaluations += 1
+            rec.inc("reach.controller_evaluations")
             end_box = pipe.end_box
             for command in next_commands:
                 next_set.add(SymbolicState(end_box, command))
 
         current = next_set
         result.steps_completed = j + 1
+        rec.inc("reach.steps")
         if settings.record_sets:
             result.step_sets.append(current.copy())
 

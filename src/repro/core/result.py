@@ -114,6 +114,10 @@ class VerificationReport:
     cells: list[CellResult] = field(default_factory=list)
     system_name: str = ""
     settings_summary: dict = field(default_factory=dict)
+    #: Merged metrics snapshot (:meth:`repro.obs.MetricsRegistry.snapshot`)
+    #: covering the whole run, workers included. Empty when no recorder
+    #: was installed.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def total_cells(self) -> int:
@@ -168,6 +172,8 @@ class VerificationReport:
             "settings": self.settings_summary,
             "cells": [c.to_dict() for c in self.cells],
         }
+        if self.metrics:
+            payload["metrics"] = self.metrics
         with open(path, "w") as out:
             json.dump(payload, out)
 
@@ -179,6 +185,7 @@ class VerificationReport:
             cells=[CellResult.from_dict(c) for c in payload["cells"]],
             system_name=payload.get("system_name", ""),
             settings_summary=payload.get("settings", {}),
+            metrics=payload.get("metrics", {}),
         )
 
     def to_csv(self, path: str | Path) -> None:

@@ -12,11 +12,13 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from ..intervals import Box
+from ..obs import Recorder, get_recorder, merge_traces, set_recorder, worker_trace_path
 from .partition import RefinementPolicy
 from .reach import ReachSettings, Verdict, reach_from_box
 from .result import CellResult, VerificationReport
@@ -58,8 +60,10 @@ def verify_cell(
     proved safe is bisected (per the policy) and every child is retried,
     down to ``max_depth``.
     """
+    rec = get_recorder()
     started = time.perf_counter()
-    outcome = reach_from_box(system, box, command, settings.reach)
+    with rec.span("cell", cell_id=cell_id, depth=depth, command=command):
+        outcome = reach_from_box(system, box, command, settings.reach)
     elapsed = time.perf_counter() - started
     result = CellResult(
         cell_id=cell_id,
@@ -72,13 +76,17 @@ def verify_cell(
         joins_performed=outcome.joins_performed,
         integrations=outcome.integrations,
     )
+    rec.inc(f"runner.verdict.{outcome.verdict.value}")
     if result.verdict is not Verdict.PROVED_SAFE and settings.witness_search:
-        witness = settings.witness_search(system, box, command)
+        with rec.span("witness_search", cell_id=cell_id):
+            witness = settings.witness_search(system, box, command)
         if witness is not None:
             # A concrete counterexample: the cell is genuinely unsafe,
             # so split refinement cannot rescue it — skip it (the
             # falsification coupling of Section 8).
             result.tags["witness"] = [float(v) for v in np.asarray(witness)]
+            rec.inc("runner.witnesses")
+            rec.event("runner.witness", cell_id=cell_id, depth=depth)
             return result
     policy = settings.refinement
     if (
@@ -86,17 +94,19 @@ def verify_cell(
         and policy is not None
         and depth < policy.max_depth
     ):
-        for i, child_box in enumerate(policy.children(box)):
-            result.children.append(
-                verify_cell(
-                    system,
-                    child_box,
-                    command,
-                    settings,
-                    cell_id=f"{cell_id}.{i}",
-                    depth=depth + 1,
+        rec.inc("runner.refinements")
+        with rec.span("refine", cell_id=cell_id, depth=depth + 1):
+            for i, child_box in enumerate(policy.children(box)):
+                result.children.append(
+                    verify_cell(
+                        system,
+                        child_box,
+                        command,
+                        settings,
+                        cell_id=f"{cell_id}.{i}",
+                        depth=depth + 1,
+                    )
                 )
-            )
     return result
 
 
@@ -107,18 +117,55 @@ _WORKER_SYSTEM: ClosedLoopSystem | None = None
 _WORKER_SETTINGS: RunnerSettings | None = None
 
 
-def _init_worker(system_factory: Callable[[], ClosedLoopSystem], settings: RunnerSettings) -> None:
+def _init_worker(
+    system_factory: Callable[[], ClosedLoopSystem],
+    settings: RunnerSettings,
+    parent_trace: str | None,
+    observe: bool,
+) -> None:
     global _WORKER_SYSTEM, _WORKER_SETTINGS
+    # The forked child inherits the parent's recorder object (and its
+    # open trace file descriptor, which must not be shared): install a
+    # fresh per-worker recorder writing to its own JSONL file. The
+    # parent merges the worker files and per-cell metric deltas back.
+    if observe:
+        trace = (
+            worker_trace_path(Path(parent_trace)) if parent_trace is not None else None
+        )
+        set_recorder(Recorder(trace_path=trace))
+        get_recorder().event("worker.start", pid=multiprocessing.current_process().pid)
+    else:
+        set_recorder(None)
     _WORKER_SYSTEM = system_factory()
     _WORKER_SETTINGS = settings
 
 
-def _run_cell(task: tuple[str, Box, int, dict]) -> CellResult:
+def _run_cell(task: tuple[str, Box, int, dict]) -> tuple[CellResult, dict | None]:
     cell_id, box, command, tags = task
     assert _WORKER_SYSTEM is not None and _WORKER_SETTINGS is not None
     result = verify_cell(_WORKER_SYSTEM, box, command, _WORKER_SETTINGS, cell_id)
     result.tags.update(tags)
-    return result
+    rec = get_recorder()
+    if rec.enabled:
+        rec.flush()
+        # Ship the metrics gathered since the last cell back to the
+        # parent; draining keeps deltas disjoint, so the parent can
+        # simply fold every payload into its registry.
+        return result, rec.metrics.drain()
+    return result, None
+
+
+def _notify_progress(progress, done: int, total: int, result: CellResult) -> None:
+    """Feed either callback style: rich (``update(done, total, result)``,
+    e.g. :class:`repro.obs.CampaignProgress`) or the legacy bare
+    ``(done, total)`` callable."""
+    if progress is None:
+        return
+    update = getattr(progress, "update", None)
+    if update is not None:
+        update(done, total, result)
+    else:
+        progress(done, total)
 
 
 def verify_partition(
@@ -133,6 +180,15 @@ def verify_partition(
     ``(box, command, tags)`` tuples. ``system_factory`` builds the
     closed-loop system — called once in serial mode, once per worker in
     parallel mode (fork start method, so closures are fine).
+
+    ``progress`` is either a bare ``(done, total)`` callable or a rich
+    observer with an ``update(done, total, result)`` method (see
+    :class:`repro.obs.CampaignProgress` for rate/ETA/verdict counts).
+
+    When a live :class:`repro.obs.Recorder` is installed, workers
+    stream spans to per-worker JSONL files (merged into the parent's
+    trace at the end) and ship per-cell metric deltas back; the merged
+    snapshot lands in ``report.metrics``.
     """
     settings = settings or RunnerSettings()
     tasks = []
@@ -141,6 +197,7 @@ def verify_partition(
         tags = dict(cell[2]) if len(cell) > 2 else {}
         tasks.append((f"cell-{i}", box, command, tags))
 
+    rec = get_recorder()
     results: list[CellResult]
     if settings.workers == 1:
         system = system_factory()
@@ -149,20 +206,32 @@ def verify_partition(
             result = verify_cell(system, box, command, settings, cell_id)
             result.tags.update(tags)
             results.append(result)
-            if progress is not None:
-                progress(i + 1, len(tasks))
+            _notify_progress(progress, i + 1, len(tasks), result)
     else:
+        parent_trace = str(rec.trace_path) if getattr(rec, "trace_path", None) else None
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(
             processes=settings.workers,
             initializer=_init_worker,
-            initargs=(system_factory, settings),
+            initargs=(system_factory, settings, parent_trace, rec.enabled),
         ) as pool:
             results = []
-            for i, result in enumerate(pool.imap(_run_cell, tasks)):
+            for i, (result, metrics_delta) in enumerate(pool.imap(_run_cell, tasks)):
+                if metrics_delta and rec.enabled:
+                    rec.metrics.merge_snapshot(metrics_delta)
                 results.append(result)
-                if progress is not None:
-                    progress(i + 1, len(tasks))
+                _notify_progress(progress, i + 1, len(tasks), result)
+        if rec.enabled and parent_trace is not None:
+            # Fold the per-worker trace files into the parent trace,
+            # globally ordered by timestamp.
+            rec.flush()
+            parent_path = Path(parent_trace)
+            worker_files = sorted(
+                parent_path.parent.glob(f"{parent_path.stem}.worker-*.jsonl")
+            )
+            merged = merge_traces(parent_path, worker_files, delete_sources=True)
+            rec.event("trace.merged", workers=len(worker_files), events=merged)
+            rec.flush()
 
     report = VerificationReport(cells=results)
     report.settings_summary = {
@@ -171,4 +240,6 @@ def verify_partition(
         "refinement_depth": settings.refinement.max_depth if settings.refinement else 0,
         "workers": settings.workers,
     }
+    if rec.enabled:
+        report.metrics = rec.metrics.snapshot()
     return report

@@ -88,7 +88,7 @@ def render_headline(data: Headline) -> str:
             f"  cells: {data.total_cells}, total cpu time: "
             f"{data.total_elapsed_seconds:.1f}s "
             f"({data.seconds_per_cell:.2f}s per top-level cell)",
-            f"  single-thread extrapolation to the paper's 198,764 cells: "
+            "  single-thread extrapolation to the paper's 198,764 cells: "
             f"{data.paper_scale_estimate_days:.1f} days (paper: ~12 days on 48 threads)",
         ]
     )

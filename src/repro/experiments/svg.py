@@ -77,7 +77,7 @@ def render_fig9a_svg(
         f"<svg xmlns='http://www.w3.org/2000/svg' width='{size}' height='{size}' "
         f"viewBox='0 0 {size} {size}'>",
         f"<rect width='{size}' height='{size}' fill='white'/>",
-        f"<title>Initial states proved safe (green) / not proved (red)</title>",
+        "<title>Initial states proved safe (green) / not proved (red)</title>",
     ]
     arc_span = 2.0 * math.pi / num_arcs
     for (arc, heading), fraction in sorted(grid.items()):
@@ -88,7 +88,7 @@ def render_fig9a_svg(
         path = _sector_path(cx, cy, r0, r1, a0, a1)
         parts.append(
             f"<path d='{path}' fill='{_color(fraction)}' "
-            f"stroke='white' stroke-width='0.6'>"
+            "stroke='white' stroke-width='0.6'>"
             f"<title>arc {arc}, heading {heading}: "
             f"{100 * fraction:.0f}% proved</title></path>"
         )
@@ -194,7 +194,7 @@ def render_tube_svg(
             f"<rect x='{x0:.1f}' y='{y0:.1f}' width='{max(x1 - x0, 0.5):.1f}' "
             f"height='{max(y1 - y0, 0.5):.1f}' fill='{color}' "
             f"fill-opacity='0.18' stroke='{color}' stroke-opacity='0.5' "
-            f"stroke-width='0.5'>"
+            "stroke-width='0.5'>"
             f"<title>t in [{seg.t_start:.2f}, {seg.t_end:.2f}]s, {name}</title>"
             "</rect>"
         )

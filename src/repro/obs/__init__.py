@@ -1,0 +1,61 @@
+"""repro.obs — structured observability for the verification stack.
+
+Three cooperating pieces, all optional and all off by default:
+
+* **Metrics** (:class:`MetricsRegistry`): counters, gauges and timing
+  histograms with p50/p95/max, snapshot/merge-able across the fork-pool
+  worker boundary;
+* **Tracing** (:func:`get_recorder` / ``rec.span(...)``): span and
+  point events streamed to a JSONL file, summarized by ``repro stats``;
+* **Progress** (:class:`CampaignProgress`): live rate/ETA/verdict
+  counts for partition campaigns.
+
+The default recorder is a shared no-op whose calls cost a couple of
+attribute lookups, so the instrumentation threaded through
+:mod:`repro.core`, :mod:`repro.ode` and :mod:`repro.verify` is free
+unless a real :class:`Recorder` is installed (``set_recorder`` /
+``use_recorder``), which the CLI does when ``--trace-out`` or
+``--metrics-out`` is passed.
+"""
+
+from .metrics import MetricsRegistry, TimingHistogram
+from .progress import CampaignProgress, format_eta
+from .recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+    worker_trace_path,
+)
+from .stats import (
+    PHASE_SPANS,
+    TraceSummary,
+    render_stats,
+    summarize_trace,
+    summarize_trace_file,
+)
+from .trace import merge_traces, read_trace, write_events
+
+__all__ = [
+    "CampaignProgress",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "PHASE_SPANS",
+    "Recorder",
+    "TimingHistogram",
+    "TraceSummary",
+    "format_eta",
+    "get_recorder",
+    "merge_traces",
+    "read_trace",
+    "render_stats",
+    "set_recorder",
+    "summarize_trace",
+    "summarize_trace_file",
+    "use_recorder",
+    "worker_trace_path",
+    "write_events",
+]

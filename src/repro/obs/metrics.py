@@ -1,0 +1,181 @@
+"""Metrics registry: counters, gauges and timing histograms.
+
+The registry is deliberately dependency-free and cheap: a counter
+increment is one dict lookup and an add; a histogram observation
+appends to a bounded reservoir. Snapshots are plain JSON-serializable
+dicts, so metrics survive process boundaries (the fork-pool workers of
+:func:`repro.core.runner.verify_partition` drain their registries and
+ship the deltas back to the parent, which merges them).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted sample list."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class TimingHistogram:
+    """Streaming summary of a stream of observations (typically seconds).
+
+    Exact ``count``/``sum``/``min``/``max`` are always maintained; the
+    quantiles (p50/p95) come from a bounded reservoir, so they become
+    approximate once ``count`` exceeds ``max_samples``. The reservoir
+    replacement is deterministic (a Weyl sequence over the slots), which
+    keeps repeated runs reproducible.
+    """
+
+    max_samples: int = 4096
+    count: int = 0
+    total: float = 0.0
+    min_value: float = float("inf")
+    max_value: float = float("-inf")
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
+        else:
+            # Deterministic pseudo-random slot (Weyl/Knuth multiplicative
+            # hash of the observation index) — good spread, no RNG state.
+            slot = (self.count * 2654435761) % self.max_samples
+            self.samples[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        return _percentile(self.samples, q)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    def merge(self, other: "TimingHistogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+        for value in other.samples:
+            if len(self.samples) < self.max_samples:
+                self.samples.append(value)
+            else:
+                slot = (len(self.samples) + self.count) % self.max_samples
+                self.samples[slot] = value
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min_value if self.count else 0.0,
+            "max": self.max_value if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "samples": list(self.samples),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "TimingHistogram":
+        hist = TimingHistogram()
+        hist.count = int(payload.get("count", 0))
+        hist.total = float(payload.get("sum", 0.0))
+        hist.samples = [float(v) for v in payload.get("samples", [])]
+        if hist.count:
+            hist.min_value = float(payload.get("min", 0.0))
+            hist.max_value = float(payload.get("max", 0.0))
+        return hist
+
+
+class MetricsRegistry:
+    """Named counters, gauges and timing histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, TimingHistogram] = {}
+
+    # -- writers -------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = TimingHistogram()
+        hist.observe(value)
+
+    # -- snapshots and merging -----------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+        }
+
+    def drain(self) -> dict:
+        """Snapshot-and-reset, for shipping deltas across processes."""
+        snap = self.snapshot()
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        return snap
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot`/:meth:`drain` payload into this
+        registry (counters add, gauges last-write-wins, histograms
+        combine)."""
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(name, value)
+        for name, payload in snapshot.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            incoming = TimingHistogram.from_dict(payload)
+            if hist is None:
+                self.histograms[name] = incoming
+            else:
+                hist.merge(incoming)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_snapshot(other.snapshot())
+
+    # -- persistence ---------------------------------------------------
+    def to_json(self, path: str | Path) -> None:
+        with open(path, "w") as out:
+            json.dump(self.snapshot(), out, indent=2, sort_keys=True)
+
+    @staticmethod
+    def from_json(path: str | Path) -> "MetricsRegistry":
+        with open(path) as handle:
+            snapshot = json.load(handle)
+        registry = MetricsRegistry()
+        registry.merge_snapshot(snapshot)
+        return registry

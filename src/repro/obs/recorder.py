@@ -1,0 +1,209 @@
+"""The recorder: spans + events + metrics behind one ambient handle.
+
+Instrumented code never imports a concrete backend; it asks for the
+*current* recorder and emits through it:
+
+    from repro.obs import get_recorder
+
+    rec = get_recorder()
+    with rec.span("integrate", step=j, command=u):
+        ...
+    rec.inc("reach.integrations", len(pipe.steps))
+
+By default the current recorder is the :data:`NULL_RECORDER` — every
+call is a no-op costing a couple of attribute lookups, so instrumented
+hot paths stay within noise of un-instrumented code. Code that would
+pay real cost just to *construct* an event (formatting, extra
+timestamps) should guard on ``rec.enabled``.
+
+A real :class:`Recorder` owns a :class:`~repro.obs.metrics.MetricsRegistry`
+and, optionally, a JSONL trace sink (one event object per line). Spans
+write both: a ``{"kind": "span", "name": ..., "dur": ...}`` trace event
+and a ``<name>.seconds`` histogram observation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import os
+import time
+from pathlib import Path
+from typing import IO, Iterator
+
+from .metrics import MetricsRegistry
+
+logger = logging.getLogger("repro.obs")
+
+
+class _NullSpan:
+    """Reusable no-op context manager (singleton, no per-use allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The default recorder: every operation is a no-op.
+
+    Kept API-compatible with :class:`Recorder` so call sites never
+    branch (except via the ``enabled`` flag for costly event payloads).
+    """
+
+    enabled = False
+
+    def span(self, name: str, **fields) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **fields) -> None:
+        return None
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float) -> None:
+        return None
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class _Span:
+    """Times a block; reports to the owning recorder on exit."""
+
+    __slots__ = ("recorder", "name", "fields", "started")
+
+    def __init__(self, recorder: "Recorder", name: str, fields: dict):
+        self.recorder = recorder
+        self.name = name
+        self.fields = fields
+        self.started = 0.0
+
+    def __enter__(self) -> "_Span":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self.started
+        self.recorder._finish_span(self.name, duration, self.fields, exc_type)
+
+
+class Recorder(NullRecorder):
+    """A live recorder: metrics registry + optional JSONL trace sink."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        trace_path: str | Path | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.metrics = metrics or MetricsRegistry()
+        self.trace_path = Path(trace_path) if trace_path else None
+        self._sink: IO[str] | None = None
+        if self.trace_path is not None:
+            self.trace_path.parent.mkdir(parents=True, exist_ok=True)
+            self._sink = open(self.trace_path, "a")
+
+    # -- spans and events ----------------------------------------------
+    def span(self, name: str, **fields) -> _Span:
+        return _Span(self, name, fields)
+
+    def _finish_span(
+        self, name: str, duration: float, fields: dict, exc_type
+    ) -> None:
+        self.metrics.observe(f"{name}.seconds", duration)
+        if self._sink is not None:
+            event = {"ts": time.time(), "kind": "span", "name": name, "dur": duration}
+            if exc_type is not None:
+                event["error"] = exc_type.__name__
+            if fields:
+                event.update(fields)
+            self._write(event)
+
+    def event(self, name: str, **fields) -> None:
+        """A point-in-time trace event (also logged at DEBUG)."""
+        logger.debug("event %s %s", name, fields)
+        if self._sink is not None:
+            event = {"ts": time.time(), "kind": "event", "name": name}
+            event.update(fields)
+            self._write(event)
+
+    def _write(self, event: dict) -> None:
+        assert self._sink is not None
+        self._sink.write(json.dumps(event, default=str) + "\n")
+
+    # -- metrics passthrough -------------------------------------------
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self.metrics.inc(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.metrics.set_gauge(name, value)
+
+    # -- lifecycle -----------------------------------------------------
+    def flush(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
+            self._sink.close()
+            self._sink = None
+
+
+# ----------------------------------------------------------------------
+# The ambient (per-process) current recorder
+# ----------------------------------------------------------------------
+_CURRENT: NullRecorder = NULL_RECORDER
+
+
+def get_recorder() -> NullRecorder:
+    """The process-wide current recorder (the no-op one by default)."""
+    return _CURRENT
+
+
+def set_recorder(recorder: NullRecorder | None) -> NullRecorder:
+    """Install ``recorder`` (``None`` restores the no-op); returns the
+    previous one so callers can restore it."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextlib.contextmanager
+def use_recorder(recorder: NullRecorder) -> Iterator[NullRecorder]:
+    """Scoped :func:`set_recorder` (restores the previous recorder)."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+def worker_trace_path(parent_trace: Path, pid: int | None = None) -> Path:
+    """Per-worker trace file next to the parent's trace file."""
+    pid = pid if pid is not None else os.getpid()
+    return parent_trace.parent / f"{parent_trace.stem}.worker-{pid}.jsonl"

@@ -11,9 +11,12 @@ the paper, minus the symbolic-state bookkeeping that lives in
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..intervals import Box
+from ..obs import get_recorder
 from .ivp import (
     EnclosureError,
     FlowPipe,
@@ -53,6 +56,7 @@ class TaylorIntegrator:
         except EnclosureError:
             if depth >= self.settings.max_bisections:
                 raise
+            get_recorder().inc("ode.step_bisections")
             first = self._step_recursive(t0, h / 2.0, s0, u, depth + 1)
             second = self._step_recursive(
                 t0 + h / 2.0, h / 2.0, first.end_box, u, depth + 1
@@ -83,12 +87,19 @@ class TaylorIntegrator:
             raise ValueError("integration horizon must be positive")
         if substeps < 1:
             raise ValueError("substeps must be >= 1")
+        rec = get_recorder()
         h = (t1 - t0) / substeps
         pipe = FlowPipe()
         current = s0
         for i in range(substeps):
             start = t0 + i * h
-            step = self.step(start, h, current, u)
+            if rec.enabled:
+                tick = time.perf_counter()
+                step = self.step(start, h, current, u)
+                rec.observe("ode.substep_seconds", time.perf_counter() - tick)
+                rec.inc("ode.substeps")
+            else:
+                step = self.step(start, h, current, u)
             pipe.steps.append(step)
             current = step.end_box
         return pipe
@@ -124,12 +135,19 @@ class AnalyticFlow:
             raise ValueError("integration horizon must be positive")
         if substeps < 1:
             raise ValueError("substeps must be >= 1")
+        rec = get_recorder()
         h = (t1 - t0) / substeps
         pipe = FlowPipe()
         current = s0
         for i in range(substeps):
             start = t0 + i * h
-            step = self.step(start, h, current, u)
+            if rec.enabled:
+                tick = time.perf_counter()
+                step = self.step(start, h, current, u)
+                rec.observe("ode.substep_seconds", time.perf_counter() - tick)
+                rec.inc("ode.substeps")
+            else:
+                step = self.step(start, h, current, u)
             pipe.steps.append(step)
             current = step.end_box
         return pipe

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..intervals import Box, Interval
+from ..obs import get_recorder
 from .ivp import EnclosureError, IntegratorSettings, ODESystem
 
 
@@ -53,14 +54,19 @@ def a_priori_enclosure(
     candidate = picard_operator(system, t0, h, s0, s0, u)
     candidate = candidate.hull(s0)
 
+    rec = get_recorder()
     growth = settings.inflation_factor
-    for _ in range(settings.max_picard_attempts):
+    for attempt in range(settings.max_picard_attempts):
         trial = candidate.inflate(growth * candidate.widths + settings.inflation_floor)
         image = picard_operator(system, t0, h, s0, trial, u)
         if trial.contains_box(image):
+            rec.inc("ode.picard_iterations", attempt + 1)
+            if rec.enabled:
+                rec.observe("ode.picard_attempts", attempt + 1)
             return _tighten(system, t0, h, s0, image, u, settings)
         candidate = trial.hull(image)
         growth *= 2.0
+    rec.inc("ode.picard_failures")
     raise EnclosureError(
         f"no a-priori enclosure verified for step [{t0}, {t0 + h}] "
         f"of {system.name} after {settings.max_picard_attempts} attempts"

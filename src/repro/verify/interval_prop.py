@@ -39,4 +39,15 @@ class IntervalPropagator:
         self.network = network
 
     def __call__(self, input_box: Box) -> Box:
+        from ..obs import get_recorder
+
+        rec = get_recorder()
+        if rec.enabled:
+            import time
+
+            rec.inc("verify.propagations")
+            tick = time.perf_counter()
+            out = interval_forward(self.network, input_box)
+            rec.observe("verify.propagate_seconds", time.perf_counter() - tick)
+            return out
         return interval_forward(self.network, input_box)

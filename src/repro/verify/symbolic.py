@@ -23,6 +23,7 @@ Two ReLU relaxations are provided:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,6 +31,7 @@ import numpy as np
 from ..intervals import Box
 from ..intervals.linalg import dot_error_bound
 from ..nn import Network
+from ..obs import get_recorder
 
 _EPS = np.finfo(float).eps
 _TINY = np.finfo(float).tiny
@@ -166,18 +168,18 @@ def _relu_deeppoly(
     new.slack[inactive] = 0.0
 
     if np.any(unstable):
-        l = conc_lo[unstable]
+        lo_u = conc_lo[unstable]
         u = conc_hi[unstable]
         # Upper: relu(x) <= u*(x - l)/(u - l), applied to the upper form.
-        mu = u / (u - l)
+        mu = u / (u - lo_u)
         mu = np.nextafter(mu, np.inf)  # outward rounding of the slope
-        offset = -mu * l
+        offset = -mu * lo_u
         offset = np.nextafter(offset, np.inf)
         new.up_coeffs[unstable] = bounds.up_coeffs[unstable] * mu[:, None]
         new.up_const[unstable] = bounds.up_const[unstable] * mu + offset
         # Lower: relu(x) >= lambda*x with lambda in {0, 1}; pick the
         # area-minimizing slope as in DeepPoly.
-        lam = (u > -l).astype(float)
+        lam = (u > -lo_u).astype(float)
         new.lo_coeffs[unstable] = bounds.lo_coeffs[unstable] * lam[:, None]
         new.lo_const[unstable] = bounds.lo_const[unstable] * lam
         # Slack: scaled by the slopes, plus ulp-level noise from the
@@ -216,13 +218,27 @@ class SymbolicPropagator:
             )
         lo, hi = input_box.lo, input_box.hi
         relu_rule = _relu_reluval if self.relaxation == "reluval" else _relu_deeppoly
+        rec = get_recorder()
         bounds = LinearBounds.identity(network.input_size)
-        for w, b in zip(network.weights[:-1], network.biases[:-1]):
-            bounds = _affine_transform(bounds, w, b, lo, hi)
-            bounds = relu_rule(bounds, lo, hi)
-        bounds = _affine_transform(
-            bounds, network.weights[-1], network.biases[-1], lo, hi
-        )
+        if rec.enabled:
+            rec.inc("verify.propagations")
+            for w, b in zip(network.weights[:-1], network.biases[:-1]):
+                tick = time.perf_counter()
+                bounds = _affine_transform(bounds, w, b, lo, hi)
+                bounds = relu_rule(bounds, lo, hi)
+                rec.observe("verify.layer_seconds", time.perf_counter() - tick)
+            tick = time.perf_counter()
+            bounds = _affine_transform(
+                bounds, network.weights[-1], network.biases[-1], lo, hi
+            )
+            rec.observe("verify.layer_seconds", time.perf_counter() - tick)
+        else:
+            for w, b in zip(network.weights[:-1], network.biases[:-1]):
+                bounds = _affine_transform(bounds, w, b, lo, hi)
+                bounds = relu_rule(bounds, lo, hi)
+            bounds = _affine_transform(
+                bounds, network.weights[-1], network.biases[-1], lo, hi
+            )
         out_lo, out_hi = bounds.concretize(lo, hi)
         # Safety net: bounds crossing by rounding noise would be a bug;
         # normalize the (never observed) pathological case soundly.

@@ -107,11 +107,11 @@ class Zonotope:
         shift = np.zeros(self.dim)
         new_dev = np.zeros(self.dim)
         if np.any(unstable):
-            l = lo[unstable]
+            lo_u = lo[unstable]
             u = hi[unstable]
-            lam_u = u / (u - l)
+            lam_u = u / (u - lo_u)
             lam_u = np.nextafter(lam_u, np.inf)
-            beta = np.nextafter(-lam_u * l / 2.0, np.inf)
+            beta = np.nextafter(-lam_u * lo_u / 2.0, np.inf)
             lam[unstable] = lam_u
             shift[unstable] = beta
             new_dev[unstable] = beta * (1.0 + 8.0 * _EPS) + _TINY
@@ -157,8 +157,20 @@ class ZonotopePropagator:
                 f"input box has dimension {input_box.dim}, network expects "
                 f"{self.network.input_size}"
             )
+        from ..obs import get_recorder
+
+        rec = get_recorder()
         zono = Zonotope.from_box(input_box)
-        for w, b in zip(self.network.weights[:-1], self.network.biases[:-1]):
-            zono = zono.affine(w, b).relu().reduce_order(self.max_generators)
+        if rec.enabled:
+            import time
+
+            rec.inc("verify.propagations")
+            for w, b in zip(self.network.weights[:-1], self.network.biases[:-1]):
+                tick = time.perf_counter()
+                zono = zono.affine(w, b).relu().reduce_order(self.max_generators)
+                rec.observe("verify.layer_seconds", time.perf_counter() - tick)
+        else:
+            for w, b in zip(self.network.weights[:-1], self.network.biases[:-1]):
+                zono = zono.affine(w, b).relu().reduce_order(self.max_generators)
         zono = zono.affine(self.network.weights[-1], self.network.biases[-1])
         return zono.to_box()

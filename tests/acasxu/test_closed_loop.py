@@ -11,7 +11,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.acasxu import TURN_RATES_DEG, initial_cells
+from repro.acasxu import initial_cells
 from repro.baselines import simulate
 from repro.core import ReachSettings, Verdict, reach_from_box
 from repro.intervals import Box

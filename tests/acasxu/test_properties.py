@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.acasxu.properties import (
-    AcasProperty,
-    CatalogResult,
     check_catalog,
     raw_input_box,
     standard_properties,

@@ -7,7 +7,6 @@ import pytest
 
 from repro.acasxu import (
     COC_INDEX,
-    COLLISION_RADIUS_FT,
     PAPER_NUM_ARCS,
     PAPER_NUM_HEADINGS,
     SENSOR_RANGE_FT,
@@ -124,10 +123,6 @@ class TestSampleInitialState:
         for _ in range(50):
             s = sample_initial_state(rng)
             assert math.hypot(s[0], s[1]) == pytest.approx(SENSOR_RANGE_FT)
-            # Inward motion: relative radial velocity negative at t=0.
-            vx = -600.0 * math.sin(s[2])
-            vy = 600.0 * math.cos(s[2]) - 700.0
-            radial = (s[0] * vx + s[1] * vy) / SENSOR_RANGE_FT
             # The intruder's own motion points inward; the ownship's
             # motion can make the relative radial rate positive only in
             # the extreme tangential cases.

@@ -7,7 +7,7 @@ from repro.baselines import (
     DiscreteVerdict,
     discrete_instant_analysis,
 )
-from repro.core import ArgminPost, ClosedLoopSystem, CommandSet, Controller, Plant
+from repro.core import ClosedLoopSystem, CommandSet, Controller, Plant
 from repro.intervals import Box
 from repro.nn import Network
 from repro.ode import ODESystem, TaylorIntegrator

@@ -24,7 +24,7 @@ def cells():
 class TestCheckpointing:
     def test_first_run_matches_plain_runner(self, tmp_path):
         journal = tmp_path / "journal.jsonl"
-        factory = lambda: make_system()
+        factory = make_system
         checkpointed = verify_partition_checkpointed(factory, cells(), journal)
         plain = verify_partition(factory, cells())
         assert checkpointed.total_cells == plain.total_cells

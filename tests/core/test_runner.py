@@ -7,7 +7,6 @@ from repro.core import (
     ReachSettings,
     RefinementPolicy,
     RunnerSettings,
-    Verdict,
     grid_partition,
     verify_cell,
     verify_partition,
@@ -32,7 +31,6 @@ class TestVerifyCell:
 
     def test_refinement_recovers_coverage(self):
         """A too-wide cell fails, but its refined halves succeed."""
-        system = make_system(horizon_steps=6)
         # Wide cell: [1.0, 3.0] stays provable? Make one that fails by
         # including states that reach the error bound when joined: use a
         # short horizon with no termination and a tight error bound.

@@ -1,0 +1,103 @@
+"""Metrics registry: counters, histograms, snapshots and merging."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, TimingHistogram
+
+
+class TestTimingHistogram:
+    def test_empty(self):
+        hist = TimingHistogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.p50 == 0.0
+        assert hist.p95 == 0.0
+
+    def test_aggregates(self):
+        hist = TimingHistogram()
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            hist.observe(v)
+        assert hist.count == 5
+        assert hist.total == pytest.approx(15.0)
+        assert hist.mean == pytest.approx(3.0)
+        assert hist.min_value == 1.0
+        assert hist.max_value == 5.0
+        assert hist.p50 == pytest.approx(3.0)
+        assert hist.p95 in (4.0, 5.0)
+
+    def test_reservoir_caps_samples_but_not_exact_stats(self):
+        hist = TimingHistogram(max_samples=16)
+        for i in range(1000):
+            hist.observe(float(i))
+        assert len(hist.samples) == 16
+        assert hist.count == 1000
+        assert hist.total == pytest.approx(sum(range(1000)))
+        assert hist.max_value == 999.0
+
+    def test_merge(self):
+        a, b = TimingHistogram(), TimingHistogram()
+        for v in [1.0, 2.0]:
+            a.observe(v)
+        for v in [10.0, 20.0]:
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.total == pytest.approx(33.0)
+        assert a.max_value == 20.0
+        assert a.min_value == 1.0
+
+    def test_roundtrip(self):
+        hist = TimingHistogram()
+        for v in [0.5, 1.5, 2.5]:
+            hist.observe(v)
+        clone = TimingHistogram.from_dict(json.loads(json.dumps(hist.to_dict())))
+        assert clone.count == hist.count
+        assert clone.total == pytest.approx(hist.total)
+        assert clone.p50 == hist.p50
+
+
+class TestMetricsRegistry:
+    def test_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        reg.set_gauge("g", 3.5)
+        snap = reg.snapshot()
+        assert snap["counters"]["a"] == 5
+        assert snap["gauges"]["g"] == 3.5
+
+    def test_merge_snapshot_adds_counters_combines_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 2)
+        a.observe("h", 1.0)
+        b.inc("n", 3)
+        b.observe("h", 3.0)
+        a.merge_snapshot(b.snapshot())
+        assert a.counters["n"] == 5
+        assert a.histograms["h"].count == 2
+        assert a.histograms["h"].total == pytest.approx(4.0)
+
+    def test_drain_resets(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        reg.observe("h", 1.0)
+        delta = reg.drain()
+        assert delta["counters"]["x"] == 1
+        assert reg.counters == {}
+        assert reg.histograms == {}
+        # Draining again yields an empty payload that merges as a no-op.
+        other = MetricsRegistry()
+        other.merge_snapshot(reg.drain())
+        assert other.snapshot()["counters"] == {}
+
+    def test_json_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("calls", 7)
+        reg.observe("latency", 0.25)
+        path = tmp_path / "metrics.json"
+        reg.to_json(path)
+        clone = MetricsRegistry.from_json(path)
+        assert clone.counters["calls"] == 7
+        assert clone.histograms["latency"].count == 1

@@ -70,7 +70,8 @@ class TestCrossingQueries:
         assert first_possible_crossing(pipe, lambda box: box[0].lo < -1.0) is None
 
     def test_refine_crossing_time_sharpens(self, pipe):
-        predicate = lambda box: box[0].lo < 0.5
+        def predicate(box):
+            return box[0].lo < 0.5
         coarse = first_possible_crossing(pipe, predicate)
         integrator = TaylorIntegrator(DECAY)
         refined = refine_crossing_time(pipe, predicate, integrator, NO_U, refinements=5)

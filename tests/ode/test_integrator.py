@@ -15,7 +15,6 @@ from repro.ode import (
     TaylorIntegrator,
     a_priori_enclosure,
     first_possible_crossing,
-    gcos,
     gsin,
     ode_taylor_coefficients,
 )
