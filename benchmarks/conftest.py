@@ -55,19 +55,37 @@ def representative_cell():
 
 
 @pytest.fixture
-def phase_breakdown():
+def phase_breakdown(request):
     """Run a callable under a metrics-only recorder and return
     ``(result, phases)``, where ``phases`` maps span names to
     ``{total_s, count, p50_s, p95_s}``. Benches attach this to
     ``benchmark.extra_info`` so BENCH_*.json entries carry a per-phase
     time breakdown alongside the headline number.
+
+    Each instrumented run is also appended to the run ledger (kind
+    ``benchmark``, named after the test), so the bench trajectory is
+    durable and ``repro report`` / ``repro compare`` can track it
+    across sessions. Best-effort: a read-only checkout never fails the
+    bench.
     """
-    from repro.obs import Recorder, use_recorder
+    import time
+
+    from repro.obs import (
+        Recorder,
+        RunRecord,
+        git_revision,
+        new_run_id,
+        phases_from_metrics,
+        record_run,
+        use_recorder,
+    )
 
     def run(fn, *args, **kwargs):
         recorder = Recorder()
+        started = time.perf_counter()
         with use_recorder(recorder):
             result = fn(*args, **kwargs)
+        wall = time.perf_counter() - started
         snapshot = recorder.metrics.snapshot()
         phases = {
             name[: -len(".seconds")]: {
@@ -80,6 +98,21 @@ def phase_breakdown():
             if name.endswith(".seconds")
         }
         counters = snapshot["counters"]
+        record = RunRecord(
+            run_id=new_run_id("benchmark"),
+            kind="benchmark",
+            started_at=time.time(),
+            wall_seconds=wall,
+            git_sha=git_revision(),
+            config={"bench": request.node.name},
+            phases=phases_from_metrics(snapshot),
+            counters=dict(counters),
+            extra={"nodeid": request.node.nodeid},
+        )
+        try:
+            record_run(record)
+        except OSError:
+            pass
         return result, {"phases": phases, "counters": counters}
 
     return run

@@ -1,0 +1,76 @@
+"""CI perf-regression gate.
+
+Diffs a candidate run (latest ledger entry by default) against a
+baseline record — normally the committed ``benchmarks/baseline.json``
+— and exits non-zero when any phase slowed down beyond the threshold
+or coverage dropped, so CI can block the merge:
+
+    PYTHONPATH=src python benchmarks/regression.py \
+        --baseline benchmarks/baseline.json --threshold 2.0
+
+Exit codes: 0 = pass, 1 = input error (missing records and such),
+2 = regression detected. This is a thin wrapper over
+``repro compare``'s machinery (:mod:`repro.obs.regression`); it exists
+as a standalone script so the CI gate does not depend on argv plumbing
+in the main CLI.
+
+Thresholds: committed baselines are recorded on one machine and
+compared on another, so the CI default should be generous (2x) and the
+absolute ``--min-seconds`` floor keeps sub-50ms phases out of the
+verdict entirely. Refresh the baseline with
+``python benchmarks/make_baseline.py`` whenever a deliberate perf
+change moves the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).parent / "baseline.json"),
+        help="baseline record (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--candidate",
+        default="latest",
+        help="candidate: run id, record path, or `latest[:kind]`",
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="ledger directory (default: $REPRO_LEDGER or .repro/runs)",
+    )
+    parser.add_argument("--threshold", type=float, default=2.0)
+    parser.add_argument("--min-seconds", type=float, default=0.05)
+    parser.add_argument("--coverage-tolerance", type=float, default=0.0)
+    args = parser.parse_args(argv)
+
+    from repro.obs import compare_records, load_run, render_comparison
+
+    try:
+        baseline = load_run(args.baseline, root=args.ledger)
+        candidate = load_run(args.candidate, root=args.ledger)
+    except (FileNotFoundError, ValueError, json.JSONDecodeError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    comparison = compare_records(
+        baseline,
+        candidate,
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+        coverage_tolerance=args.coverage_tolerance,
+    )
+    print(render_comparison(comparison))
+    return 0 if comparison.ok else 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,11 +8,16 @@ Subcommands:
 * ``falsify``  — hunt for concrete counterexamples in unproved cells;
 * ``simulate`` — run and print one concrete encounter;
 * ``fig7``     — the substep-tightness ablation;
-* ``stats``    — summarize a JSONL trace (per-phase timings, slow cells).
+* ``stats``    — summarize a JSONL trace (per-phase timings, slow cells);
+* ``report``   — render ledger runs into a self-contained HTML dashboard;
+* ``compare``  — diff two ledger runs / a committed baseline (perf gate).
 
 ``verify``, ``falsify`` and ``evaluate`` accept ``--trace-out`` /
 ``--metrics-out`` / ``--log-level``, which install a live
-:class:`repro.obs.Recorder` for the duration of the run.
+:class:`repro.obs.Recorder` for the duration of the run. Each of them
+also appends a :class:`repro.obs.RunRecord` to the run ledger
+(``.repro/runs/`` by default; ``--ledger-dir`` overrides, ``--no-ledger``
+disables), which is what ``report`` and ``compare`` read.
 """
 
 from __future__ import annotations
@@ -40,6 +45,15 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         choices=["debug", "info", "warning", "error"],
         default=None,
         help="logging level for the repro.* loggers (default: warning)",
+    )
+    parser.add_argument(
+        "--ledger-dir",
+        help="run-ledger directory (default: $REPRO_LEDGER or .repro/runs)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append this run to the ledger",
     )
 
 
@@ -74,6 +88,21 @@ def _teardown_observability(args: argparse.Namespace, recorder) -> None:
     set_recorder(None)
     if getattr(args, "trace_out", None):
         print(f"trace written to {args.trace_out}", file=sys.stderr)
+
+
+def _append_ledger(args: argparse.Namespace, record) -> None:
+    """Append ``record`` to the run ledger (best-effort: a full disk or
+    read-only checkout must never fail the run itself)."""
+    if getattr(args, "no_ledger", False):
+        return
+    from .obs import record_run
+
+    try:
+        path = record_run(record, root=getattr(args, "ledger_dir", None))
+    except OSError as error:
+        print(f"warning: could not append run ledger record: {error}", file=sys.stderr)
+        return
+    print(f"ledger record: {path}", file=sys.stderr)
 
 
 def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
@@ -165,6 +194,33 @@ def cmd_verify(args: argparse.Namespace) -> int:
     if args.out:
         report.to_json(args.out)
         print(f"\nreport written to {args.out}")
+
+    from .obs import record_from_report
+
+    record = record_from_report(
+        report,
+        kind="verify",
+        config={
+            "scenario": args.scenario,
+            "arcs": args.arcs,
+            "headings": args.headings,
+            "depth": args.depth,
+            "substeps": args.substeps,
+            "gamma": args.gamma,
+            "workers": args.workers,
+        },
+        wall_seconds=wall,
+        extra={
+            key: value
+            for key, value in (
+                ("trace", args.trace_out),
+                ("metrics", args.metrics_out),
+                ("report", args.out),
+            )
+            if value
+        },
+    )
+    _append_ledger(args, record)
     _teardown_observability(args, recorder)
     return 0
 
@@ -182,11 +238,14 @@ def cmd_show(args: argparse.Namespace) -> int:
 
 
 def cmd_falsify(args: argparse.Namespace) -> int:
+    import time
+
     from .acasxu import SENSOR_RANGE_FT, build_system
     from .baselines import cross_entropy_falsification, min_distance_robustness
     from .intervals import Box
 
     recorder = _setup_observability(args)
+    started = time.perf_counter()
     system = build_system(_scenario(args.scenario))
 
     def decode(params):
@@ -223,6 +282,32 @@ def cmd_falsify(args: argparse.Namespace) -> int:
         )
     else:
         print("no counterexample found")
+
+    from .obs import RunRecord, git_revision, new_run_id, phases_from_metrics
+
+    snapshot = recorder.metrics.snapshot() if recorder.enabled else {}
+    record = RunRecord(
+        run_id=new_run_id("falsify"),
+        kind="falsify",
+        started_at=time.time(),
+        wall_seconds=time.perf_counter() - started,
+        git_sha=git_revision(),
+        config={
+            "scenario": args.scenario,
+            "population": args.population,
+            "generations": args.generations,
+            "seed": args.seed,
+        },
+        verdicts={"witnessed": int(result.falsified)},
+        phases=phases_from_metrics(snapshot),
+        counters=dict(snapshot.get("counters") or {}),
+        extra={
+            "trajectories_run": result.trajectories_run,
+            "best_robustness": result.best_robustness,
+            "falsified": result.falsified,
+        },
+    )
+    _append_ledger(args, record)
     _teardown_observability(args, recorder)
     return 0
 
@@ -295,9 +380,12 @@ def cmd_props(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    import time
+
     from .acasxu import build_system, evaluate_controller
 
     recorder = _setup_observability(args)
+    started = time.perf_counter()
     system = build_system(_scenario(args.scenario))
     stats = evaluate_controller(
         system,
@@ -314,6 +402,32 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     print(f"alert rate: {stats.alert_rate:.1%}, "
           f"mean alert duration: {stats.mean_alert_steps:.1f} steps")
     print(f"mean minimum separation: {stats.mean_min_separation_ft:.0f} ft")
+
+    from .obs import RunRecord, git_revision, new_run_id, phases_from_metrics
+
+    snapshot = recorder.metrics.snapshot() if recorder.enabled else {}
+    record = RunRecord(
+        run_id=new_run_id("evaluate"),
+        kind="evaluate",
+        started_at=time.time(),
+        wall_seconds=time.perf_counter() - started,
+        git_sha=git_revision(),
+        config={
+            "scenario": args.scenario,
+            "encounters": args.encounters,
+            "seed": args.seed,
+            "threat_fraction": args.threat_fraction,
+        },
+        phases=phases_from_metrics(snapshot),
+        counters=dict(snapshot.get("counters") or {}),
+        extra={
+            "nmacs_without_system": stats.nmacs_without_system,
+            "nmacs_with_system": stats.nmacs_with_system,
+            "alert_rate": stats.alert_rate,
+            "mean_min_separation_ft": stats.mean_min_separation_ft,
+        },
+    )
+    _append_ledger(args, record)
     _teardown_observability(args, recorder)
     return 0
 
@@ -341,16 +455,167 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     trace_path = Path(args.trace)
     if not trace_path.exists():
-        print(f"no such trace: {trace_path}", file=sys.stderr)
+        print(f"error: no such trace: {trace_path}", file=sys.stderr)
         return 1
-    summary = summarize_trace_file(trace_path, top_cells=args.top)
+    try:
+        summary = summarize_trace_file(trace_path, top_cells=args.top)
+    except OSError as error:
+        print(f"error: could not read trace {trace_path}: {error}", file=sys.stderr)
+        return 1
+    if summary.events == 0:
+        detail = (
+            f"all {summary.malformed_lines} lines malformed"
+            if summary.malformed_lines
+            else "no events"
+        )
+        print(f"error: empty trace: {trace_path} ({detail})", file=sys.stderr)
+        return 1
     metrics_snapshot = None
     if args.metrics:
-        with open(args.metrics) as handle:
-            metrics_snapshot = json.load(handle)
+        try:
+            with open(args.metrics) as handle:
+                metrics_snapshot = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(
+                f"error: could not read metrics snapshot {args.metrics}: {error}",
+                file=sys.stderr,
+            )
+            return 1
     print(f"trace: {trace_path}")
     print(render_stats(summary, metrics_snapshot))
     return 0
+
+
+def _load_ledger_records(args: argparse.Namespace, refs: list[str]):
+    """Resolve run references (ids / paths / ``latest``) into records,
+    oldest first. Prints a one-line error and returns None on failure."""
+    import json
+
+    from .obs import load_run, query_runs
+
+    root = getattr(args, "ledger_dir", None)
+    try:
+        if refs:
+            records = [load_run(ref, root=root) for ref in refs]
+        else:
+            entries = query_runs(root, limit=getattr(args, "last", 10))
+            records = [load_run(e["run_id"], root=root) for e in entries]
+    except (FileNotFoundError, ValueError, json.JSONDecodeError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+    if not records:
+        from .obs import ledger_root
+
+        print(
+            f"error: no runs in ledger {ledger_root(root)} "
+            "(run `repro verify` first, or pass record paths)",
+            file=sys.stderr,
+        )
+        return None
+    records.sort(key=lambda r: (r.started_at, r.run_id))
+    return records
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .obs import read_trace, render_html_report
+
+    records = _load_ledger_records(args, args.runs)
+    if records is None:
+        return 1
+    primary = records[-1]
+
+    trace_events = None
+    trace_ref = args.trace or primary.extra.get("trace")
+    if trace_ref:
+        trace_path = Path(trace_ref)
+        if trace_path.exists():
+            trace_events = list(read_trace(trace_path))
+        elif args.trace:
+            print(f"error: no such trace: {trace_path}", file=sys.stderr)
+            return 1
+        else:
+            print(
+                f"note: trace {trace_path} from the ledger record is gone; "
+                "skipping the flamegraph",
+                file=sys.stderr,
+            )
+
+    figures = []
+    report_ref = args.report_json or primary.extra.get("report")
+    if report_ref and Path(report_ref).exists():
+        from .core import VerificationReport
+        from .experiments import render_fig9a_svg
+
+        try:
+            verification = VerificationReport.from_json(report_ref)
+        except (json.JSONDecodeError, KeyError, ValueError) as error:
+            print(
+                f"error: could not read report JSON {report_ref}: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        figures.append(
+            (
+                f"Fig. 9a safety map ({report_ref})",
+                render_fig9a_svg(verification),
+            )
+        )
+    elif args.report_json:
+        print(f"error: no such report JSON: {args.report_json}", file=sys.stderr)
+        return 1
+
+    html = render_html_report(
+        records,
+        trace_events=trace_events,
+        figures=figures,
+        title=f"repro {primary.kind} report — {primary.run_id}",
+    )
+    out = Path(args.out)
+    out.write_text(html)
+    print(f"report written to {out} ({len(records)} runs, {len(html)} bytes)")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import compare_records, load_run, render_comparison
+
+    refs = list(args.runs)
+    if args.baseline:
+        baseline_ref = args.baseline
+        candidate_ref = refs[0] if refs else "latest"
+    elif len(refs) >= 2:
+        baseline_ref, candidate_ref = refs[0], refs[1]
+    elif len(refs) == 1:
+        baseline_ref, candidate_ref = refs[0], "latest"
+    else:
+        print(
+            "error: nothing to compare — pass BASELINE [CANDIDATE] or "
+            "--baseline path/to/baseline.json",
+            file=sys.stderr,
+        )
+        return 1
+
+    try:
+        baseline = load_run(baseline_ref, root=args.ledger_dir)
+        candidate = load_run(candidate_ref, root=args.ledger_dir)
+    except (FileNotFoundError, ValueError, json.JSONDecodeError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    comparison = compare_records(
+        baseline,
+        candidate,
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+        coverage_tolerance=args.coverage_tolerance,
+    )
+    print(render_comparison(comparison))
+    return 0 if comparison.ok else 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -430,6 +695,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10, help="how many slowest cells to list"
     )
     p_stats.set_defaults(fn=cmd_stats)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render ledger runs as a self-contained HTML dashboard",
+    )
+    p_report.add_argument(
+        "runs",
+        nargs="*",
+        help="run ids, record paths, or `latest[:kind]` (default: last N runs)",
+    )
+    p_report.add_argument(
+        "--ledger-dir",
+        help="run-ledger directory (default: $REPRO_LEDGER or .repro/runs)",
+    )
+    p_report.add_argument(
+        "--last", type=int, default=10,
+        help="with no explicit runs: use the newest N ledger runs",
+    )
+    p_report.add_argument(
+        "--trace",
+        help="JSONL trace for the flamegraph (default: the primary "
+        "record's recorded trace path, if it still exists)",
+    )
+    p_report.add_argument(
+        "--report-json",
+        help="verification report JSON to inline as the Fig. 9a safety map",
+    )
+    p_report.add_argument(
+        "--out", default="report.html", help="output HTML path"
+    )
+    p_report.set_defaults(fn=cmd_report)
+
+    p_compare = sub.add_parser(
+        "compare",
+        help="diff two ledger runs; non-zero exit on perf/coverage regression",
+    )
+    p_compare.add_argument(
+        "runs",
+        nargs="*",
+        help="BASELINE [CANDIDATE]: run ids, record paths, or `latest[:kind]` "
+        "(candidate defaults to the newest ledger run)",
+    )
+    p_compare.add_argument(
+        "--baseline",
+        help="baseline record path (e.g. benchmarks/baseline.json); the "
+        "positional then names the candidate",
+    )
+    p_compare.add_argument(
+        "--ledger-dir",
+        help="run-ledger directory (default: $REPRO_LEDGER or .repro/runs)",
+    )
+    p_compare.add_argument(
+        "--threshold", type=float, default=1.25,
+        help="flag a phase slower than baseline by more than this factor",
+    )
+    p_compare.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="ignore phases whose candidate total is below this (noise floor)",
+    )
+    p_compare.add_argument(
+        "--coverage-tolerance", type=float, default=0.0,
+        help="allowed coverage drop in percentage points",
+    )
+    p_compare.set_defaults(fn=cmd_compare)
 
     p_export = sub.add_parser(
         "export", help="write the trained bank as .nnet files"

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import logging
 import os
+import time
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -94,6 +95,7 @@ def verify_partition_checkpointed(
     """
     settings = settings or RunnerSettings()
     rec = get_recorder()
+    run_started = time.perf_counter()
     journal_path = Path(journal_path)
     journal_path.parent.mkdir(parents=True, exist_ok=True)
     finished = load_journal(journal_path)
@@ -140,6 +142,7 @@ def verify_partition_checkpointed(
         )
 
     report = VerificationReport(cells=results)
+    report.wall_seconds = time.perf_counter() - run_started
     report.settings_summary = {
         "substeps": settings.reach.substeps,
         "max_symbolic_states": settings.reach.max_symbolic_states,

@@ -118,6 +118,11 @@ class VerificationReport:
     #: covering the whole run, workers included. Empty when no recorder
     #: was installed.
     metrics: dict = field(default_factory=dict)
+    #: End-to-end wall time of the producing run (set by
+    #: :func:`repro.core.runner.verify_partition`); unlike
+    #: :meth:`total_elapsed` it does not multiply-count parallel
+    #: workers, so it is what the run ledger records.
+    wall_seconds: float = 0.0
 
     @property
     def total_cells(self) -> int:
@@ -128,6 +133,22 @@ class VerificationReport:
         if not self.cells:
             return 0.0
         return 100.0 * sum(c.coverage_fraction() for c in self.cells) / len(self.cells)
+
+    def verdict_counts(self) -> dict[str, int]:
+        """Rolling verdict counts over top-level cells, with the same
+        semantics as :class:`repro.obs.CampaignProgress`: a cell is
+        *proved* when its whole volume is covered, *witnessed* when a
+        concrete counterexample was recorded anywhere in its refinement
+        tree, otherwise *unproved*. Feeds the run ledger."""
+        counts = {"proved": 0, "unproved": 0, "witnessed": 0, "total": len(self.cells)}
+        for cell in self.cells:
+            if cell.coverage_fraction() >= 1.0:
+                counts["proved"] += 1
+            elif any("witness" in leaf.tags for leaf in cell.leaves()):
+                counts["witnessed"] += 1
+            else:
+                counts["unproved"] += 1
+        return counts
 
     def proved_count_by_depth(self) -> dict[int, int]:
         """``n_d`` aggregated over all cells."""
@@ -170,6 +191,7 @@ class VerificationReport:
         payload = {
             "system_name": self.system_name,
             "settings": self.settings_summary,
+            "wall_seconds": self.wall_seconds,
             "cells": [c.to_dict() for c in self.cells],
         }
         if self.metrics:
@@ -186,6 +208,7 @@ class VerificationReport:
             system_name=payload.get("system_name", ""),
             settings_summary=payload.get("settings", {}),
             metrics=payload.get("metrics", {}),
+            wall_seconds=payload.get("wall_seconds", 0.0),
         )
 
     def to_csv(self, path: str | Path) -> None:

@@ -191,6 +191,7 @@ def verify_partition(
     snapshot lands in ``report.metrics``.
     """
     settings = settings or RunnerSettings()
+    run_started = time.perf_counter()
     tasks = []
     for i, cell in enumerate(cells):
         box, command = cell[0], cell[1]
@@ -234,6 +235,7 @@ def verify_partition(
             rec.flush()
 
     report = VerificationReport(cells=results)
+    report.wall_seconds = time.perf_counter() - run_started
     report.settings_summary = {
         "substeps": settings.reach.substeps,
         "max_symbolic_states": settings.reach.max_symbolic_states,

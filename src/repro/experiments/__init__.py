@@ -31,6 +31,7 @@ from .report import (
 )
 from .svg import (
     render_fig9a_svg,
+    render_sparkline_svg,
     render_tube_svg,
     write_fig9a_svg,
     write_tube_svg,
@@ -58,6 +59,7 @@ __all__ = [
     "render_headline",
     "render_report",
     "render_fig9a_svg",
+    "render_sparkline_svg",
     "render_tube_svg",
     "run_experiment",
     "write_fig9a_svg",

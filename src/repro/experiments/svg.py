@@ -220,3 +220,58 @@ def render_tube_svg(
 def write_tube_svg(result, path: str | Path, **kwargs) -> None:
     """Write :func:`render_tube_svg` output to a file."""
     Path(path).write_text(render_tube_svg(result, **kwargs))
+
+
+# ----------------------------------------------------------------------
+# Sparklines (metric trends across ledger records)
+# ----------------------------------------------------------------------
+def render_sparkline_svg(
+    values,
+    width: int = 180,
+    height: int = 36,
+    stroke: str = "#3366cc",
+    good_direction: str | None = None,
+) -> str:
+    """A compact inline trend line for a numeric series.
+
+    Used by the ``repro report`` HTML dashboard to show how wall time,
+    coverage and per-phase totals move across ledger records. The last
+    point gets a marker dot; with ``good_direction`` (``"up"`` /
+    ``"down"``) the dot turns green/red depending on whether the final
+    step moved the right way. Handles empty, single-point and constant
+    series without division blowups.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return (
+            f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+            f"height='{height}'/>"
+        )
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    pad = 3.0
+    usable_w = width - 2 * pad
+    usable_h = height - 2 * pad
+
+    def pt(i: int, v: float) -> tuple[float, float]:
+        x = pad + (usable_w * i / (len(values) - 1) if len(values) > 1 else usable_w / 2)
+        y = pad + usable_h * (1.0 - ((v - lo) / span if span else 0.5))
+        return x, y
+
+    points = [pt(i, v) for i, v in enumerate(values)]
+    poly = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+    dot_color = stroke
+    if good_direction in ("up", "down") and len(values) >= 2:
+        delta = values[-1] - values[-2]
+        improved = delta >= 0 if good_direction == "up" else delta <= 0
+        dot_color = "#2e9949" if improved else "#c0392b"
+    lx, ly = points[-1]
+    return (
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' viewBox='0 0 {width} {height}'>"
+        f"<title>min {lo:g}, max {hi:g}, last {values[-1]:g}</title>"
+        f"<polyline points='{poly}' fill='none' stroke='{stroke}' "
+        "stroke-width='1.5' stroke-linejoin='round'/>"
+        f"<circle cx='{lx:.1f}' cy='{ly:.1f}' r='2.5' fill='{dot_color}'/>"
+        "</svg>"
+    )

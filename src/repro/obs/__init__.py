@@ -10,6 +10,13 @@ Three cooperating pieces, all optional and all off by default:
 * **Progress** (:class:`CampaignProgress`): live rate/ETA/verdict
   counts for partition campaigns.
 
+On top of those sit the cross-run pieces (PR 3): the **ledger**
+(:mod:`repro.obs.ledger` — durable per-run records under
+``.repro/runs/``), the **HTML dashboard**
+(:func:`render_html_report`, ``repro report``) and **regression
+comparison** (:func:`compare_records`, ``repro compare`` and the CI
+gate in ``benchmarks/regression.py``).
+
 The default recorder is a shared no-op whose calls cost a couple of
 attribute lookups, so the instrumentation threaded through
 :mod:`repro.core`, :mod:`repro.ode` and :mod:`repro.verify` is free
@@ -18,8 +25,32 @@ unless a real :class:`Recorder` is installed (``set_recorder`` /
 ``--metrics-out`` is passed.
 """
 
+from .ledger import (
+    RunRecord,
+    git_revision,
+    latest_run,
+    ledger_root,
+    list_runs,
+    load_run,
+    new_run_id,
+    phases_from_metrics,
+    query_runs,
+    record_from_report,
+    record_run,
+)
 from .metrics import MetricsRegistry, TimingHistogram
 from .progress import CampaignProgress, format_eta
+from .regression import (
+    Comparison,
+    PhaseDelta,
+    compare_records,
+    render_comparison,
+)
+from .report_html import (
+    render_flamegraph_svg,
+    render_html_report,
+    render_phase_share_svg,
+)
 from .recorder import (
     NULL_RECORDER,
     NullRecorder,
@@ -40,17 +71,35 @@ from .trace import merge_traces, read_trace, write_events
 
 __all__ = [
     "CampaignProgress",
+    "Comparison",
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
     "PHASE_SPANS",
+    "PhaseDelta",
     "Recorder",
+    "RunRecord",
     "TimingHistogram",
     "TraceSummary",
+    "compare_records",
     "format_eta",
     "get_recorder",
+    "git_revision",
+    "latest_run",
+    "ledger_root",
+    "list_runs",
+    "load_run",
     "merge_traces",
+    "new_run_id",
+    "phases_from_metrics",
+    "query_runs",
     "read_trace",
+    "record_from_report",
+    "record_run",
+    "render_comparison",
+    "render_flamegraph_svg",
+    "render_html_report",
+    "render_phase_share_svg",
     "render_stats",
     "set_recorder",
     "summarize_trace",

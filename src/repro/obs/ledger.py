@@ -1,0 +1,317 @@
+"""The run ledger: a durable, append-only record of every campaign.
+
+PR 1 gave each run in-process metrics and a JSONL trace, but nothing
+survived the process: two runs could not be compared, and the bench
+trajectory stayed empty. The ledger fixes that. Every ``verify`` /
+``falsify`` / ``evaluate`` / benchmark run appends one
+:class:`RunRecord` — git SHA, configuration, verdict counts, wall
+time, per-phase timing percentiles, counter snapshot — to a store
+under ``.repro/runs/`` (override with ``$REPRO_LEDGER``):
+
+    .repro/runs/
+        index.jsonl                     # one summary line per run, append-only
+        20260806T101500-verify-ab12cd.json   # the full record
+
+``index.jsonl`` makes listing cheap without opening every record; the
+per-run JSON files carry everything ``repro report`` and
+``repro compare`` need. Readers tolerate torn/malformed index lines
+(runs get killed mid-append) exactly like the trace reader does.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import subprocess
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+logger = logging.getLogger("repro.obs")
+
+#: Default store location, relative to the working directory.
+DEFAULT_LEDGER_DIR = ".repro/runs"
+
+
+def ledger_root(root: str | Path | None = None) -> Path:
+    """Resolve the ledger directory: explicit argument, ``$REPRO_LEDGER``,
+    or ``.repro/runs`` under the current working directory."""
+    if root is not None:
+        return Path(root)
+    env = os.environ.get("REPRO_LEDGER")
+    if env:
+        return Path(env)
+    return Path(DEFAULT_LEDGER_DIR)
+
+
+def git_revision(cwd: str | Path | None = None) -> str:
+    """The current git SHA, or ``"unknown"`` outside a checkout."""
+    env = os.environ.get("REPRO_GIT_SHA")
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def phases_from_metrics(snapshot: dict) -> dict[str, dict[str, float]]:
+    """Per-phase timing summary from a metrics snapshot.
+
+    Every ``<name>.seconds`` histogram (one per span name — the PR-1
+    recorder writes them automatically) becomes a
+    ``{count, total_s, mean_s, p50_s, p95_s, max_s}`` row. The raw
+    reservoir samples are deliberately dropped: ledger records must
+    stay small enough to commit as baselines.
+    """
+    phases: dict[str, dict[str, float]] = {}
+    for name, hist in (snapshot.get("histograms") or {}).items():
+        if not name.endswith(".seconds"):
+            continue
+        count = int(hist.get("count", 0))
+        phases[name[: -len(".seconds")]] = {
+            "count": count,
+            "total_s": float(hist.get("sum", 0.0)),
+            "mean_s": float(hist.get("mean", 0.0)),
+            "p50_s": float(hist.get("p50", 0.0)),
+            "p95_s": float(hist.get("p95", 0.0)),
+            "max_s": float(hist.get("max", 0.0)),
+        }
+    return phases
+
+
+@dataclass
+class RunRecord:
+    """One ledger entry: everything needed to compare this run later."""
+
+    run_id: str
+    kind: str  # verify | falsify | evaluate | benchmark | baseline
+    started_at: float  # unix time
+    wall_seconds: float = 0.0
+    git_sha: str = "unknown"
+    #: The configuration knobs that define the run (scenario, partition
+    #: shape, M, Gamma, depth, workers, seed...).
+    config: dict = field(default_factory=dict)
+    #: Rolling verdict counts: proved / unproved / witnessed / total.
+    verdicts: dict = field(default_factory=dict)
+    coverage_percent: float | None = None
+    #: Per-phase timing percentiles (see :func:`phases_from_metrics`).
+    phases: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    #: Free-form: argv, trace/report file paths, bench name...
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "RunRecord":
+        return RunRecord(
+            run_id=str(payload.get("run_id", "?")),
+            kind=str(payload.get("kind", "?")),
+            started_at=float(payload.get("started_at", 0.0)),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            git_sha=str(payload.get("git_sha", "unknown")),
+            config=dict(payload.get("config") or {}),
+            verdicts=dict(payload.get("verdicts") or {}),
+            coverage_percent=payload.get("coverage_percent"),
+            phases=dict(payload.get("phases") or {}),
+            counters=dict(payload.get("counters") or {}),
+            gauges=dict(payload.get("gauges") or {}),
+            extra=dict(payload.get("extra") or {}),
+        )
+
+    def summary_line(self) -> str:
+        """One human line, for ``repro report --list`` style output."""
+        coverage = (
+            f"{self.coverage_percent:.1f}%" if self.coverage_percent is not None else "-"
+        )
+        verdicts = self.verdicts or {}
+        return (
+            f"{self.run_id}  {self.kind:<9} wall {self.wall_seconds:8.2f}s  "
+            f"coverage {coverage:>6}  proved {verdicts.get('proved', 0)} "
+            f"unproved {verdicts.get('unproved', 0)} "
+            f"witnessed {verdicts.get('witnessed', 0)}  [{self.git_sha[:10]}]"
+        )
+
+
+def new_run_id(kind: str, started_at: float | None = None) -> str:
+    """``20260806T101500-verify-ab12cd``: sortable, unique, readable."""
+    started_at = time.time() if started_at is None else started_at
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(started_at))
+    return f"{stamp}-{kind}-{uuid.uuid4().hex[:6]}"
+
+
+def record_from_report(
+    report,
+    kind: str = "verify",
+    config: dict | None = None,
+    wall_seconds: float | None = None,
+    git_sha: str | None = None,
+    extra: dict | None = None,
+    started_at: float | None = None,
+) -> RunRecord:
+    """Build a :class:`RunRecord` from a
+    :class:`~repro.core.result.VerificationReport` (the runner hookup).
+
+    Phase percentiles come from ``report.metrics`` (populated whenever a
+    live recorder was installed); verdict counts and coverage from the
+    report itself.
+    """
+    started_at = time.time() if started_at is None else started_at
+    metrics = getattr(report, "metrics", {}) or {}
+    wall = wall_seconds
+    if wall is None:
+        wall = getattr(report, "wall_seconds", 0.0) or report.total_elapsed()
+    record = RunRecord(
+        run_id=new_run_id(kind, started_at),
+        kind=kind,
+        started_at=started_at,
+        wall_seconds=float(wall),
+        git_sha=git_sha if git_sha is not None else git_revision(),
+        config=dict(config or {}) or dict(getattr(report, "settings_summary", {})),
+        verdicts=report.verdict_counts(),
+        coverage_percent=report.coverage_percent(),
+        phases=phases_from_metrics(metrics),
+        counters=dict(metrics.get("counters") or {}),
+        gauges=dict(metrics.get("gauges") or {}),
+        extra=dict(extra or {}),
+    )
+    return record
+
+
+def record_run(record: RunRecord, root: str | Path | None = None) -> Path:
+    """Append ``record`` to the ledger; returns the record's JSON path.
+
+    Writes the full record to ``<root>/<run_id>.json`` and appends a
+    slim summary line to ``<root>/index.jsonl``. The store is
+    append-only: existing records are never modified.
+    """
+    root = ledger_root(root)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"{record.run_id}.json"
+    with open(path, "w") as out:
+        json.dump(record.to_dict(), out, indent=2, sort_keys=True)
+        out.write("\n")
+    index_entry = {
+        "run_id": record.run_id,
+        "kind": record.kind,
+        "started_at": record.started_at,
+        "wall_seconds": record.wall_seconds,
+        "git_sha": record.git_sha,
+        "coverage_percent": record.coverage_percent,
+        "verdicts": record.verdicts,
+        "path": path.name,
+    }
+    with open(root / "index.jsonl", "a") as out:
+        out.write(json.dumps(index_entry) + "\n")
+    return path
+
+
+def list_runs(root: str | Path | None = None) -> list[dict]:
+    """Index entries, oldest first. Malformed/torn index lines are
+    skipped (and logged); records missing from the index but present on
+    disk are recovered from their filenames."""
+    root = ledger_root(root)
+    entries: list[dict] = []
+    seen: set[str] = set()
+    index = root / "index.jsonl"
+    if index.exists():
+        with open(index) as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    logger.warning("%s:%d: skipping malformed index line", index, lineno)
+                    continue
+                if isinstance(entry, dict) and "run_id" in entry:
+                    entries.append(entry)
+                    seen.add(entry["run_id"])
+    if root.exists():
+        for path in root.glob("*.json"):
+            run_id = path.stem
+            if run_id in seen:
+                continue
+            entries.append({"run_id": run_id, "path": path.name})
+    def sort_key(entry: dict):
+        return (entry.get("started_at", 0.0), entry.get("run_id", ""))
+    entries.sort(key=sort_key)
+    return entries
+
+
+def query_runs(
+    root: str | Path | None = None,
+    kind: str | None = None,
+    since: float | None = None,
+    limit: int | None = None,
+) -> list[dict]:
+    """Filtered :func:`list_runs`: by kind, start time, and count
+    (``limit`` keeps the *newest* N, still returned oldest first)."""
+    entries = list_runs(root)
+    if kind is not None:
+        entries = [e for e in entries if e.get("kind") == kind]
+    if since is not None:
+        entries = [e for e in entries if e.get("started_at", 0.0) >= since]
+    if limit is not None and limit >= 0:
+        entries = entries[len(entries) - min(limit, len(entries)):]
+    return entries
+
+
+def load_run(ref: str | Path, root: str | Path | None = None) -> RunRecord:
+    """Load a full record by reference.
+
+    ``ref`` is a path to a record JSON (e.g. a committed baseline), a
+    ``run_id`` in the ledger, or ``latest`` / ``latest:<kind>`` for the
+    newest (optionally kind-filtered) run. Raises ``FileNotFoundError``
+    with a one-line message when nothing matches.
+    """
+    ref = str(ref)
+    if ref.startswith("latest"):
+        kind = ref.split(":", 1)[1] if ":" in ref else None
+        entries = query_runs(root, kind=kind)
+        if not entries:
+            raise FileNotFoundError(
+                f"no runs in ledger {ledger_root(root)}"
+                + (f" with kind {kind}" if kind else "")
+            )
+        ref = entries[-1]["run_id"]
+    as_path = Path(ref)
+    if as_path.suffix == ".json" and as_path.exists():
+        return _load_record_file(as_path)
+    candidate = ledger_root(root) / f"{ref}.json"
+    if candidate.exists():
+        return _load_record_file(candidate)
+    raise FileNotFoundError(f"no such run record: {ref} (ledger: {ledger_root(root)})")
+
+
+def latest_run(
+    root: str | Path | None = None, kind: str | None = None
+) -> RunRecord | None:
+    """The newest record (optionally restricted to one kind), or None."""
+    try:
+        return load_run("latest" + (f":{kind}" if kind else ""), root)
+    except FileNotFoundError:
+        return None
+
+
+def _load_record_file(path: Path) -> RunRecord:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: not a run record (expected a JSON object)")
+    return RunRecord.from_dict(payload)

@@ -1,0 +1,179 @@
+"""Perf-regression detection between two ledger records.
+
+``repro compare BASELINE CANDIDATE`` (and the CI gate in
+``benchmarks/regression.py``) diff two :class:`~repro.obs.ledger.RunRecord`
+objects: overall wall time, every per-phase total, and the coverage
+metric. A phase "regresses" when the candidate is more than
+``threshold``x slower than the baseline *and* above an absolute floor
+(``min_seconds``) — the floor keeps microsecond phases from tripping
+the gate on scheduler noise. Coverage regresses when it drops by more
+than ``coverage_tolerance`` percentage points (a perf win that proves
+fewer cells is not a win).
+
+The comparison itself is pure data; rendering and exit-code policy live
+with the callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ledger import RunRecord
+
+#: Default multiplicative slowdown tolerated before flagging.
+DEFAULT_THRESHOLD = 1.25
+#: Phases whose candidate total is below this many seconds never flag.
+DEFAULT_MIN_SECONDS = 0.05
+#: Allowed coverage drop in percentage points.
+DEFAULT_COVERAGE_TOLERANCE = 0.0
+
+
+@dataclass
+class PhaseDelta:
+    """One compared quantity (a phase total or the overall wall time)."""
+
+    name: str
+    baseline_s: float
+    candidate_s: float
+    regressed: bool = False
+    #: True when the phase exists only in the candidate (no verdict).
+    new: bool = False
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_s <= 0.0:
+            return float("inf") if self.candidate_s > 0.0 else 1.0
+        return self.candidate_s / self.baseline_s
+
+
+@dataclass
+class Comparison:
+    """Full diff of two run records."""
+
+    baseline_id: str
+    candidate_id: str
+    wall: PhaseDelta
+    phases: list[PhaseDelta] = field(default_factory=list)
+    baseline_coverage: float | None = None
+    candidate_coverage: float | None = None
+    coverage_regressed: bool = False
+    threshold: float = DEFAULT_THRESHOLD
+    min_seconds: float = DEFAULT_MIN_SECONDS
+
+    @property
+    def regressions(self) -> list[str]:
+        """Names of everything that regressed (empty means the gate passes)."""
+        names = [d.name for d in [self.wall, *self.phases] if d.regressed]
+        if self.coverage_regressed:
+            names.append("coverage")
+        return names
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _is_slowdown(
+    baseline_s: float, candidate_s: float, threshold: float, min_seconds: float
+) -> bool:
+    if candidate_s < min_seconds:
+        return False
+    if baseline_s <= 0.0:
+        # A brand-new phase above the floor: suspicious but not a
+        # verdict — callers see it via ``PhaseDelta.new``.
+        return False
+    return candidate_s > baseline_s * threshold
+
+
+def compare_records(
+    baseline: RunRecord | dict,
+    candidate: RunRecord | dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    coverage_tolerance: float = DEFAULT_COVERAGE_TOLERANCE,
+) -> Comparison:
+    """Diff ``candidate`` against ``baseline`` (dicts are accepted and
+    upgraded, so committed baseline JSON files work directly)."""
+    if isinstance(baseline, dict):
+        baseline = RunRecord.from_dict(baseline)
+    if isinstance(candidate, dict):
+        candidate = RunRecord.from_dict(candidate)
+
+    wall = PhaseDelta(
+        name="wall",
+        baseline_s=baseline.wall_seconds,
+        candidate_s=candidate.wall_seconds,
+    )
+    wall.regressed = _is_slowdown(
+        wall.baseline_s, wall.candidate_s, threshold, min_seconds
+    )
+
+    deltas: list[PhaseDelta] = []
+    names = list(baseline.phases)
+    names += [n for n in candidate.phases if n not in names]
+    for name in names:
+        base_total = float(baseline.phases.get(name, {}).get("total_s", 0.0))
+        cand_total = float(candidate.phases.get(name, {}).get("total_s", 0.0))
+        delta = PhaseDelta(
+            name=name,
+            baseline_s=base_total,
+            candidate_s=cand_total,
+            new=name not in baseline.phases,
+        )
+        delta.regressed = _is_slowdown(base_total, cand_total, threshold, min_seconds)
+        deltas.append(delta)
+
+    comparison = Comparison(
+        baseline_id=baseline.run_id,
+        candidate_id=candidate.run_id,
+        wall=wall,
+        phases=deltas,
+        baseline_coverage=baseline.coverage_percent,
+        candidate_coverage=candidate.coverage_percent,
+        threshold=threshold,
+        min_seconds=min_seconds,
+    )
+    if (
+        baseline.coverage_percent is not None
+        and candidate.coverage_percent is not None
+    ):
+        drop = baseline.coverage_percent - candidate.coverage_percent
+        comparison.coverage_regressed = drop > coverage_tolerance
+    return comparison
+
+
+def render_comparison(comparison: Comparison) -> str:
+    """Human-readable diff table with a PASS/FAIL verdict line."""
+    lines = [
+        f"baseline:  {comparison.baseline_id}",
+        f"candidate: {comparison.candidate_id}",
+        f"threshold: {comparison.threshold:.2f}x "
+        f"(floor {comparison.min_seconds:.3f}s)",
+        "",
+        f"  {'phase':<16} {'baseline s':>11} {'candidate s':>12} {'ratio':>8}",
+    ]
+    for delta in [comparison.wall, *comparison.phases]:
+        ratio = delta.ratio
+        ratio_text = "new" if delta.new else (
+            "inf" if ratio == float("inf") else f"{ratio:.2f}x"
+        )
+        flag = "  << REGRESSION" if delta.regressed else ""
+        lines.append(
+            f"  {delta.name:<16} {delta.baseline_s:>11.3f} "
+            f"{delta.candidate_s:>12.3f} {ratio_text:>8}{flag}"
+        )
+    if (
+        comparison.baseline_coverage is not None
+        and comparison.candidate_coverage is not None
+    ):
+        flag = "  << REGRESSION" if comparison.coverage_regressed else ""
+        lines.append(
+            f"  {'coverage %':<16} {comparison.baseline_coverage:>11.2f} "
+            f"{comparison.candidate_coverage:>12.2f} {'':>8}{flag}"
+        )
+    lines.append("")
+    if comparison.ok:
+        lines.append("PASS: no regressions beyond threshold")
+    else:
+        lines.append(f"FAIL: regressions in {', '.join(comparison.regressions)}")
+    return "\n".join(lines)

@@ -1,0 +1,369 @@
+"""Self-contained HTML dashboard for ledger records (``repro report``).
+
+One HTML file, zero external requests: inline CSS, hand-rolled inline
+SVG for the flamegraph and sparklines, and any extra figures (the
+Fig. 9a polar map, reach tubes) embedded verbatim. The file must open
+from disk on an offline machine — CI uploads it as an artifact and
+reviewers click it.
+
+Sections:
+
+* run metadata (git SHA, config, verdicts, coverage, wall time) for the
+  primary (newest) record;
+* a per-phase **flamegraph** built from the PR-1 trace spans: one lane
+  per span name, rectangles positioned on the run's wall-clock axis,
+  plus an aggregate share bar;
+* embedded SVG figures (safety map, reach tubes) when provided;
+* **trend sparklines** across all supplied records: wall time,
+  coverage, verdict counts and per-phase totals.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Iterable, Sequence
+
+from .ledger import RunRecord
+from .stats import PHASE_SPANS
+
+#: Consistent per-phase colors across the share bar and the flamegraph.
+_PALETTE = [
+    "#3366cc", "#2e9949", "#cc7a29", "#8e44ad", "#c0392b",
+    "#148f77", "#d4ac0d", "#7f8c8d", "#2c3e50", "#af7ac5",
+]
+
+#: Keep the flamegraph SVG bounded: beyond this many rectangles the
+#: longest spans per lane win and the lane label says how many were
+#: dropped (never a silent cap).
+MAX_FLAME_RECTS = 4000
+
+
+def _esc(value) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _phase_color(name: str, order: Sequence[str]) -> str:
+    try:
+        index = list(order).index(name)
+    except ValueError:
+        index = len(order)
+    return _PALETTE[index % len(_PALETTE)]
+
+
+# ----------------------------------------------------------------------
+# Flamegraph
+# ----------------------------------------------------------------------
+def render_flamegraph_svg(
+    events: Iterable[dict],
+    width: int = 960,
+    lane_height: int = 20,
+) -> str:
+    """Span-lane flamegraph from a JSONL trace event stream.
+
+    Spans are written at *finish* time (``ts`` is the end, ``dur`` the
+    length), so each rectangle starts at ``ts - dur``. Lanes follow the
+    canonical phase order (:data:`~repro.obs.stats.PHASE_SPANS`) first,
+    then remaining span names by descending total time.
+    """
+    spans: dict[str, list[tuple[float, float, dict]]] = {}
+    t_min, t_max = float("inf"), float("-inf")
+    for event in events:
+        if event.get("kind") != "span":
+            continue
+        ts = event.get("ts")
+        dur = event.get("dur")
+        if not isinstance(ts, (int, float)) or not isinstance(dur, (int, float)):
+            continue
+        start = float(ts) - float(dur)
+        spans.setdefault(str(event.get("name", "?")), []).append(
+            (start, float(dur), event)
+        )
+        t_min = min(t_min, start)
+        t_max = max(t_max, float(ts))
+    if not spans or t_max <= t_min:
+        return "<svg xmlns='http://www.w3.org/2000/svg' width='10' height='10'/>"
+
+    totals = {name: sum(d for _, d, _ in rows) for name, rows in spans.items()}
+    lanes = [p for p in PHASE_SPANS if p in spans]
+    lanes += sorted((n for n in spans if n not in lanes), key=lambda n: -totals[n])
+
+    label_w = 130
+    plot_w = width - label_w
+    scale = plot_w / (t_max - t_min)
+    per_lane_cap = max(1, MAX_FLAME_RECTS // max(1, len(lanes)))
+    height = lane_height * len(lanes) + 24
+
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' viewBox='0 0 {width} {height}' "
+        "font-family='sans-serif'>",
+        f"<rect width='{width}' height='{height}' fill='#fcfcfc'/>",
+    ]
+    for lane_index, name in enumerate(lanes):
+        rows = spans[name]
+        dropped = 0
+        if len(rows) > per_lane_cap:
+            rows = sorted(rows, key=lambda r: -r[1])[:per_lane_cap]
+            dropped = len(spans[name]) - per_lane_cap
+        color = _phase_color(name, lanes)
+        y = lane_index * lane_height + 2
+        label = f"{name} ({totals[name]:.2f}s)"
+        if dropped:
+            label += f" +{dropped} hidden"
+        parts.append(
+            f"<text x='4' y='{y + lane_height - 7}' font-size='11'>"
+            f"{_esc(label)}</text>"
+        )
+        for start, dur, event in rows:
+            x = label_w + (start - t_min) * scale
+            w = max(dur * scale, 0.4)
+            tooltip = f"{name}: {dur * 1e3:.3f} ms"
+            cell_id = event.get("cell_id")
+            if cell_id is not None:
+                tooltip += f" [{cell_id}]"
+            parts.append(
+                f"<rect x='{x:.2f}' y='{y}' width='{w:.2f}' "
+                f"height='{lane_height - 4}' fill='{color}' fill-opacity='0.75'>"
+                f"<title>{_esc(tooltip)}</title></rect>"
+            )
+    axis_y = lane_height * len(lanes) + 14
+    parts.append(
+        f"<text x='{label_w}' y='{axis_y}' font-size='10' fill='#555'>0s</text>"
+    )
+    parts.append(
+        f"<text x='{width - 4}' y='{axis_y}' font-size='10' fill='#555' "
+        f"text-anchor='end'>{t_max - t_min:.2f}s</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_phase_share_svg(
+    phases: dict[str, dict], width: int = 960, height: int = 26
+) -> str:
+    """Aggregate stacked bar: each phase's share of total span time."""
+    totals = {
+        name: float(row.get("total_s", 0.0))
+        for name, row in phases.items()
+        if float(row.get("total_s", 0.0)) > 0.0
+    }
+    grand = sum(totals.values())
+    if not grand:
+        return "<svg xmlns='http://www.w3.org/2000/svg' width='10' height='10'/>"
+    order = [p for p in PHASE_SPANS if p in totals]
+    order += sorted((n for n in totals if n not in order), key=lambda n: -totals[n])
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' viewBox='0 0 {width} {height}' "
+        "font-family='sans-serif'>"
+    ]
+    x = 0.0
+    for name in order:
+        share = totals[name] / grand
+        w = share * width
+        color = _phase_color(name, order)
+        parts.append(
+            f"<rect x='{x:.2f}' y='2' width='{max(w, 0.5):.2f}' "
+            f"height='{height - 4}' fill='{color}' fill-opacity='0.85'>"
+            f"<title>{_esc(name)}: {totals[name]:.2f}s ({share:.1%})</title></rect>"
+        )
+        if w > 60:
+            parts.append(
+                f"<text x='{x + 4:.1f}' y='{height - 9}' font-size='11' "
+                f"fill='white'>{_esc(name)} {share:.0%}</text>"
+            )
+        x += w
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Trend sparklines
+# ----------------------------------------------------------------------
+def _trend_series(records: Sequence[RunRecord]) -> list[tuple[str, list[float], str | None]]:
+    """(label, values, good_direction) series across records, oldest
+    first. Only series with at least one real value are emitted."""
+    series: list[tuple[str, list[float], str | None]] = []
+    if any(r.wall_seconds for r in records):
+        series.append(("wall seconds", [r.wall_seconds for r in records], "down"))
+    if any(r.coverage_percent is not None for r in records):
+        series.append(
+            (
+                "coverage %",
+                [
+                    r.coverage_percent if r.coverage_percent is not None else 0.0
+                    for r in records
+                ],
+                "up",
+            )
+        )
+    for verdict, direction in (("proved", "up"), ("unproved", "down"), ("witnessed", None)):
+        if any(r.verdicts.get(verdict) for r in records):
+            series.append(
+                (
+                    f"{verdict} cells",
+                    [float(r.verdicts.get(verdict, 0)) for r in records],
+                    direction,
+                )
+            )
+    phase_names: list[str] = []
+    for record in records:
+        for name in record.phases:
+            if name not in phase_names:
+                phase_names.append(name)
+    ordered = [p for p in PHASE_SPANS if p in phase_names]
+    ordered += [p for p in phase_names if p not in ordered]
+    for name in ordered:
+        values = [float(r.phases.get(name, {}).get("total_s", 0.0)) for r in records]
+        if any(values):
+            series.append((f"{name} total s", values, "down"))
+    return series
+
+
+def render_trends_html(records: Sequence[RunRecord]) -> str:
+    """The sparkline table (empty string with fewer than two records)."""
+    if len(records) < 2:
+        return ""
+    from ..experiments.svg import render_sparkline_svg  # lazy: avoids an import cycle
+
+    rows = []
+    for label, values, direction in _trend_series(records):
+        spark = render_sparkline_svg(values, good_direction=direction)
+        first, last = values[0], values[-1]
+        delta = last - first
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(label)}</td>"
+            f"<td class='num'>{first:g}</td>"
+            f"<td>{spark}</td>"
+            f"<td class='num'>{last:g}</td>"
+            f"<td class='num'>{delta:+g}</td>"
+            "</tr>"
+        )
+    if not rows:
+        return ""
+    return (
+        f"<h2>Trends across {len(records)} runs</h2>"
+        "<table><tr><th>metric</th><th>first</th><th>trend</th>"
+        "<th>last</th><th>&Delta;</th></tr>" + "".join(rows) + "</table>"
+    )
+
+
+# ----------------------------------------------------------------------
+# The page
+# ----------------------------------------------------------------------
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 1020px;
+       color: #1c2833; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; margin: 0.5rem 0; }
+td, th { border: 1px solid #d5d8dc; padding: 3px 9px; font-size: 0.85rem;
+         text-align: left; vertical-align: middle; }
+th { background: #f2f3f4; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.verdict-proved { color: #1e8449; font-weight: 600; }
+.verdict-unproved { color: #c0392b; font-weight: 600; }
+.meta { color: #566573; font-size: 0.8rem; }
+figure { margin: 0.8rem 0; }
+figcaption { font-size: 0.8rem; color: #566573; }
+"""
+
+
+def _metadata_table(record: RunRecord) -> str:
+    rows = [
+        ("run id", record.run_id),
+        ("kind", record.kind),
+        ("git SHA", record.git_sha),
+        ("wall time", f"{record.wall_seconds:.2f}s"),
+    ]
+    if record.coverage_percent is not None:
+        rows.append(("coverage", f"{record.coverage_percent:.2f}%"))
+    for key in sorted(record.config):
+        rows.append((f"config.{key}", record.config[key]))
+    cells = "".join(
+        f"<tr><th>{_esc(k)}</th><td>{_esc(v)}</td></tr>" for k, v in rows
+    )
+    return f"<table>{cells}</table>"
+
+
+def _verdict_table(record: RunRecord) -> str:
+    if not record.verdicts:
+        return ""
+    verdicts = record.verdicts
+    total = verdicts.get("total", sum(
+        v for k, v in verdicts.items() if k != "total" and isinstance(v, (int, float))
+    ))
+    return (
+        "<h2>Verdicts</h2><table><tr>"
+        f"<td class='verdict-proved'>proved {verdicts.get('proved', 0)}</td>"
+        f"<td class='verdict-unproved'>unproved {verdicts.get('unproved', 0)}</td>"
+        f"<td>witnessed {verdicts.get('witnessed', 0)}</td>"
+        f"<td>total {total}</td>"
+        "</tr></table>"
+    )
+
+
+def _phase_table(record: RunRecord) -> str:
+    if not record.phases:
+        return ""
+    names = [p for p in PHASE_SPANS if p in record.phases]
+    names += sorted(n for n in record.phases if n not in names)
+    rows = []
+    for name in names:
+        row = record.phases[name]
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(name)}</td>"
+            f"<td class='num'>{int(row.get('count', 0))}</td>"
+            f"<td class='num'>{row.get('total_s', 0.0):.3f}</td>"
+            f"<td class='num'>{row.get('p50_s', 0.0) * 1e3:.3f}</td>"
+            f"<td class='num'>{row.get('p95_s', 0.0) * 1e3:.3f}</td>"
+            f"<td class='num'>{row.get('max_s', 0.0) * 1e3:.3f}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><tr><th>phase</th><th>count</th><th>total s</th>"
+        "<th>p50 ms</th><th>p95 ms</th><th>max ms</th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+
+
+def render_html_report(
+    records: Sequence[RunRecord],
+    trace_events: Iterable[dict] | None = None,
+    figures: Sequence[tuple[str, str]] | None = None,
+    title: str = "repro run report",
+) -> str:
+    """Render ledger records (oldest first; the last one is primary)
+    into one self-contained HTML document string."""
+    if not records:
+        raise ValueError("render_html_report needs at least one RunRecord")
+    primary = records[-1]
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style>",
+        "</head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class='meta'>primary run: {_esc(primary.run_id)} "
+        f"({len(records)} record{'s' if len(records) != 1 else ''} loaded)</p>",
+        _metadata_table(primary),
+        _verdict_table(primary),
+    ]
+    if primary.phases:
+        parts.append("<h2>Where the time went</h2>")
+        parts.append(render_phase_share_svg(primary.phases))
+        parts.append(_phase_table(primary))
+    if trace_events is not None:
+        flame = render_flamegraph_svg(trace_events)
+        parts.append("<h2>Flamegraph (trace spans)</h2>")
+        parts.append(flame)
+    for caption, svg in figures or ():
+        parts.append(
+            f"<figure>{svg}<figcaption>{_esc(caption)}</figcaption></figure>"
+        )
+    parts.append(render_trends_html(records))
+    parts.append("</body></html>")
+    return "\n".join(p for p in parts if p)

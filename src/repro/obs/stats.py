@@ -31,6 +31,8 @@ class TraceSummary:
     slowest_cells: list[tuple[float, str]] = field(default_factory=list)
     first_ts: float | None = None
     last_ts: float | None = None
+    #: Malformed/torn JSONL lines skipped while reading the file.
+    malformed_lines: int = 0
 
     @property
     def wall_seconds(self) -> float:
@@ -68,9 +70,20 @@ def summarize_trace(events: Iterable[dict], top_cells: int = 10) -> TraceSummary
 
 
 def summarize_trace_file(path: str | Path, top_cells: int = 10) -> TraceSummary:
+    """Summarize a trace file, counting (not crashing on) malformed
+    lines — partially-written traces from killed campaigns are normal."""
     from .trace import read_trace
 
-    return summarize_trace(read_trace(path), top_cells=top_cells)
+    dropped = [0]
+
+    def count(_lineno, _line):
+        dropped[0] += 1
+
+    summary = summarize_trace(
+        read_trace(path, on_malformed=count), top_cells=top_cells
+    )
+    summary.malformed_lines = dropped[0]
+    return summary
 
 
 def _cache_hit_rates(counters: dict[str, float]) -> list[tuple[str, float, float, float]]:
@@ -95,6 +108,11 @@ def render_stats(
     lines: list[str] = []
 
     lines.append(f"events: {summary.events}")
+    if summary.malformed_lines:
+        lines.append(
+            f"malformed lines skipped: {summary.malformed_lines} "
+            "(torn/partial writes are tolerated)"
+        )
     if summary.wall_seconds:
         lines.append(f"trace wall time: {summary.wall_seconds:.2f}s")
 

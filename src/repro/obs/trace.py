@@ -21,12 +21,19 @@ from typing import Iterable, Iterator
 logger = logging.getLogger("repro.obs")
 
 
-def read_trace(path: str | Path) -> Iterator[dict]:
-    """Yield events from a JSONL trace, skipping malformed lines."""
+def read_trace(path: str | Path, on_malformed=None) -> Iterator[dict]:
+    """Yield events from a JSONL trace, skipping malformed lines.
+
+    Traces are appended live and campaigns get killed, so a torn final
+    line (or a corrupted middle one) must never abort the read.
+    ``on_malformed(lineno, line)`` — when given — is called for every
+    skipped line, letting callers count drops instead of silently
+    swallowing them (``repro stats`` reports the count).
+    """
     path = Path(path)
     if not path.exists():
         return
-    with open(path) as handle:
+    with open(path, errors="replace") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
@@ -35,9 +42,13 @@ def read_trace(path: str | Path) -> Iterator[dict]:
                 event = json.loads(line)
             except json.JSONDecodeError:
                 logger.warning("%s:%d: skipping malformed trace line", path, lineno)
+                if on_malformed is not None:
+                    on_malformed(lineno, line)
                 continue
             if isinstance(event, dict):
                 yield event
+            elif on_malformed is not None:
+                on_malformed(lineno, line)
 
 
 def write_events(path: str | Path, events: Iterable[dict]) -> int:

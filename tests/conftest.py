@@ -5,11 +5,15 @@ local runs are hermetic) and exposes the shared test-scale ACAS system.
 """
 
 import os
+import tempfile
 from pathlib import Path
 
 import pytest
 
 os.environ.setdefault("REPRO_CACHE", str(Path(__file__).resolve().parents[1] / ".cache"))
+# Keep auto-appended run-ledger records (repro verify, benchmarks) out
+# of the repository's .repro/runs while tests run.
+os.environ.setdefault("REPRO_LEDGER", tempfile.mkdtemp(prefix="repro-test-ledger-"))
 
 
 @pytest.fixture(scope="session")

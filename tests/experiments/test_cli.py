@@ -106,3 +106,208 @@ class TestCommands:
         assert main(["show", report_path, "--svg", str(svg_path)]) == 0
         assert "polar safety map" in capsys.readouterr().out
         assert svg_path.read_text().startswith("<svg")
+
+
+class TestStatsRobustness:
+    def test_missing_trace_one_line_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "missing.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_empty_trace_one_line_error(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text("")
+        assert main(["stats", str(trace)]) == 1
+        err = capsys.readouterr().err
+        assert "empty trace" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_fully_malformed_trace_one_line_error(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text("not json\nalso not json\n")
+        assert main(["stats", str(trace)]) == 1
+        err = capsys.readouterr().err
+        assert "all 2 lines malformed" in err
+
+    def test_partially_written_trace_reports_drop_count(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        with open(trace, "w") as out:
+            out.write(
+                json.dumps(
+                    {"ts": 1.0, "kind": "span", "name": "integrate", "dur": 0.1}
+                )
+                + "\n"
+            )
+            out.write('{"ts": 2.0, "kind": "spa')  # torn mid-write
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "malformed lines skipped: 1" in out
+
+    def test_malformed_metrics_one_line_error(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            json.dumps({"ts": 1.0, "kind": "span", "name": "x", "dur": 0.1}) + "\n"
+        )
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text("{broken")
+        assert main(["stats", str(trace), "--metrics", str(metrics)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+
+class TestLedgerCommands:
+    def run_verify(self, tmp_path, capsys, extra=()):
+        ledger = tmp_path / "runs"
+        assert (
+            main(
+                [
+                    "verify",
+                    "--arcs", "3",
+                    "--headings", "2",
+                    "--depth", "0",
+                    "--ledger-dir", str(ledger),
+                    *extra,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return ledger
+
+    def test_verify_appends_ledger_record(self, tmp_path, capsys):
+        from repro.obs import latest_run, list_runs
+
+        ledger = self.run_verify(tmp_path, capsys)
+        entries = list_runs(ledger)
+        assert len(entries) == 1
+        record = latest_run(ledger)
+        assert record.kind == "verify"
+        assert record.config["arcs"] == 3
+        assert record.verdicts["total"] == 6
+        assert record.wall_seconds > 0
+        assert "cell" in record.phases
+
+    def test_no_ledger_flag_skips_recording(self, tmp_path, capsys):
+        from repro.obs import list_runs
+
+        ledger = self.run_verify(tmp_path, capsys, extra=("--no-ledger",))
+        assert list_runs(ledger) == []
+
+    def test_report_renders_html_dashboard(self, tmp_path, capsys):
+        ledger = self.run_verify(tmp_path, capsys)
+        out = tmp_path / "dash.html"
+        assert (
+            main(["report", "--ledger-dir", str(ledger), "--out", str(out)]) == 0
+        )
+        assert "report written to" in capsys.readouterr().out
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "verify" in html
+
+    def test_report_inlines_trace_and_safety_map(self, tmp_path, capsys):
+        report_json = tmp_path / "report.json"
+        trace = tmp_path / "trace.jsonl"
+        ledger = self.run_verify(
+            tmp_path,
+            capsys,
+            extra=(
+                "--out", str(report_json),
+                "--trace-out", str(trace),
+            ),
+        )
+        out = tmp_path / "dash.html"
+        assert (
+            main(["report", "--ledger-dir", str(ledger), "--out", str(out)]) == 0
+        )
+        capsys.readouterr()
+        html = out.read_text()
+        assert "Flamegraph" in html
+        assert "Fig. 9a safety map" in html
+
+    def test_report_empty_ledger_one_line_error(self, tmp_path, capsys):
+        out = tmp_path / "dash.html"
+        assert (
+            main(
+                [
+                    "report",
+                    "--ledger-dir", str(tmp_path / "empty"),
+                    "--out", str(out),
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+        assert not out.exists()
+
+    def test_compare_same_run_passes(self, tmp_path, capsys):
+        ledger = self.run_verify(tmp_path, capsys)
+        assert (
+            main(["compare", "latest", "latest", "--ledger-dir", str(ledger)]) == 0
+        )
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare_flags_injected_slowdown(self, tmp_path, capsys):
+        from repro.obs import latest_run
+
+        ledger = self.run_verify(tmp_path, capsys)
+        record = latest_run(ledger)
+        slow = record.to_dict()
+        slow["run_id"] = "synthetic-slow"
+        slow["wall_seconds"] = record.wall_seconds * 10 + 5.0
+        for phase in slow["phases"].values():
+            phase["total_s"] = phase["total_s"] * 10 + 5.0
+        slow_path = tmp_path / "slow.json"
+        slow_path.write_text(json.dumps(slow))
+        code = main(
+            [
+                "compare",
+                "latest",
+                str(slow_path),
+                "--ledger-dir", str(ledger),
+            ]
+        )
+        assert code == 2
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_compare_baseline_flag_defaults_candidate_to_latest(
+        self, tmp_path, capsys
+    ):
+        from repro.obs import latest_run
+
+        ledger = self.run_verify(tmp_path, capsys)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(latest_run(ledger).to_dict()))
+        assert (
+            main(
+                [
+                    "compare",
+                    "--baseline", str(baseline),
+                    "--ledger-dir", str(ledger),
+                ]
+            )
+            == 0
+        )
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare_without_anything_one_line_error(self, capsys):
+        assert main(["compare"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_compare_missing_record_one_line_error(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    "no-such-run",
+                    "--ledger-dir", str(tmp_path / "runs"),
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1

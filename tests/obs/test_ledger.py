@@ -1,0 +1,174 @@
+"""The run ledger: record/list/load/query, robustness, report hookup."""
+
+import json
+
+import pytest
+
+from repro.core.reach import Verdict
+from repro.core.result import CellResult, VerificationReport
+from repro.intervals import Box
+from repro.obs import (
+    MetricsRegistry,
+    RunRecord,
+    git_revision,
+    latest_run,
+    ledger_root,
+    list_runs,
+    load_run,
+    new_run_id,
+    phases_from_metrics,
+    query_runs,
+    record_from_report,
+    record_run,
+)
+
+
+def make_record(kind="verify", started_at=1000.0, wall=2.0, **extra_fields):
+    record = RunRecord(
+        run_id=new_run_id(kind, started_at),
+        kind=kind,
+        started_at=started_at,
+        wall_seconds=wall,
+        git_sha="deadbeef",
+        config={"arcs": 8},
+        verdicts={"proved": 5, "unproved": 3, "witnessed": 0, "total": 8},
+        coverage_percent=62.5,
+        phases={"integrate": {"count": 10, "total_s": 1.5, "p95_s": 0.2}},
+        counters={"reach.integrations": 10},
+    )
+    for key, value in extra_fields.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestStore:
+    def test_record_and_load_roundtrip(self, tmp_path):
+        record = make_record()
+        path = record_run(record, root=tmp_path)
+        assert path.exists()
+        loaded = load_run(record.run_id, root=tmp_path)
+        assert loaded.to_dict() == record.to_dict()
+        # A direct file path works too (committed baselines).
+        assert load_run(path).run_id == record.run_id
+
+    def test_index_is_appended(self, tmp_path):
+        for started in (1000.0, 2000.0):
+            record_run(make_record(started_at=started), root=tmp_path)
+        lines = (tmp_path / "index.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert all("run_id" in json.loads(line) for line in lines)
+
+    def test_list_runs_sorted_oldest_first(self, tmp_path):
+        ids = []
+        for started in (3000.0, 1000.0, 2000.0):
+            record = make_record(started_at=started)
+            record_run(record, root=tmp_path)
+            ids.append((started, record.run_id))
+        listed = [e["run_id"] for e in list_runs(tmp_path)]
+        assert listed == [run_id for _, run_id in sorted(ids)]
+
+    def test_malformed_index_lines_skipped(self, tmp_path):
+        record = make_record()
+        record_run(record, root=tmp_path)
+        with open(tmp_path / "index.jsonl", "a") as out:
+            out.write('{"torn": ')
+        assert [e["run_id"] for e in list_runs(tmp_path)] == [record.run_id]
+
+    def test_orphan_record_recovered_without_index(self, tmp_path):
+        record = make_record()
+        path = record_run(record, root=tmp_path)
+        (tmp_path / "index.jsonl").unlink()
+        entries = list_runs(tmp_path)
+        assert entries[0]["run_id"] == record.run_id
+        assert load_run(record.run_id, root=tmp_path).run_id == record.run_id
+        assert path.exists()
+
+    def test_query_filters_kind_and_limit(self, tmp_path):
+        record_run(make_record(kind="verify", started_at=1000.0), root=tmp_path)
+        record_run(make_record(kind="benchmark", started_at=2000.0), root=tmp_path)
+        newest = make_record(kind="verify", started_at=3000.0)
+        record_run(newest, root=tmp_path)
+        assert len(query_runs(tmp_path, kind="verify")) == 2
+        assert len(query_runs(tmp_path, kind="benchmark")) == 1
+        limited = query_runs(tmp_path, limit=1)
+        assert [e["run_id"] for e in limited] == [newest.run_id]
+
+    def test_latest_and_latest_kind(self, tmp_path):
+        record_run(make_record(kind="verify", started_at=1000.0), root=tmp_path)
+        bench = make_record(kind="benchmark", started_at=2000.0)
+        record_run(bench, root=tmp_path)
+        assert latest_run(tmp_path).run_id == bench.run_id
+        assert latest_run(tmp_path, kind="verify").kind == "verify"
+        assert load_run("latest:benchmark", root=tmp_path).run_id == bench.run_id
+
+    def test_missing_ref_raises_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_run("nope", root=tmp_path)
+        with pytest.raises(FileNotFoundError):
+            load_run("latest", root=tmp_path)
+        assert latest_run(tmp_path) is None
+
+    def test_ledger_root_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "elsewhere"))
+        assert ledger_root() == tmp_path / "elsewhere"
+        assert ledger_root(tmp_path) == tmp_path
+
+
+class TestExtraction:
+    def test_phases_from_metrics(self):
+        registry = MetricsRegistry()
+        for value in (0.1, 0.2, 0.3):
+            registry.observe("integrate.seconds", value)
+        registry.observe("not-a-span", 1.0)
+        registry.inc("reach.steps", 7)
+        phases = phases_from_metrics(registry.snapshot())
+        assert set(phases) == {"integrate"}
+        row = phases["integrate"]
+        assert row["count"] == 3
+        assert row["total_s"] == pytest.approx(0.6)
+        assert row["max_s"] == pytest.approx(0.3)
+        # Raw reservoir samples must not leak into ledger records.
+        assert "samples" not in row
+
+    def test_record_from_report(self):
+        proved = CellResult("c0", Box([0.0], [1.0]), 0, Verdict.PROVED_SAFE)
+        failed = CellResult("c1", Box([1.0], [2.0]), 0, Verdict.POSSIBLY_UNSAFE)
+        witnessed = CellResult(
+            "c2", Box([2.0], [3.0]), 0, Verdict.POSSIBLY_UNSAFE,
+            tags={"witness": [2.5]},
+        )
+        registry = MetricsRegistry()
+        registry.observe("cell.seconds", 0.5)
+        registry.inc("reach.integrations", 3)
+        report = VerificationReport(
+            cells=[proved, failed, witnessed],
+            metrics=registry.snapshot(),
+            wall_seconds=4.5,
+        )
+        record = record_from_report(
+            report, kind="verify", config={"arcs": 2}, git_sha="cafe"
+        )
+        assert record.kind == "verify"
+        assert record.wall_seconds == pytest.approx(4.5)
+        assert record.git_sha == "cafe"
+        assert record.verdicts == {
+            "proved": 1, "unproved": 1, "witnessed": 1, "total": 3,
+        }
+        assert record.coverage_percent == pytest.approx(100.0 / 3.0)
+        assert record.phases["cell"]["count"] == 1
+        assert record.counters["reach.integrations"] == 3
+        assert record.run_id.split("-")[1] == "verify"
+
+    def test_git_revision_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "abc123")
+        assert git_revision() == "abc123"
+
+    def test_roundtrip_through_dict(self):
+        record = make_record()
+        assert RunRecord.from_dict(record.to_dict()).to_dict() == record.to_dict()
+
+    def test_summary_line_mentions_the_essentials(self):
+        line = make_record().summary_line()
+        assert "verify" in line
+        assert "62.5%" in line
+        assert "proved 5" in line

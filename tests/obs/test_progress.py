@@ -1,0 +1,144 @@
+"""CampaignProgress: rate/ETA math, rolling verdicts, rendering."""
+
+import io
+
+import pytest
+
+from repro.obs import CampaignProgress, format_eta
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class FakeResult:
+    """Duck-typed CellResult: coverage fraction + tags are all that
+    progress reads."""
+
+    def __init__(self, coverage=1.0, witness=False):
+        self._coverage = coverage
+        self.tags = {"witness": [0.0]} if witness else {}
+
+    def coverage_fraction(self):
+        return self._coverage
+
+
+class TestFormatEta:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0.0, "0s"),
+            (47.0, "47s"),
+            (192.0, "3m12s"),
+            (2 * 3600 + 5 * 60, "2h05m"),
+            (27 * 3600, "1d03h"),
+            (-5.0, "0s"),  # clamped, never negative
+        ],
+    )
+    def test_boundaries(self, seconds, expected):
+        assert format_eta(seconds) == expected
+
+
+class TestRateAndEta:
+    def test_rate_is_cells_per_second(self):
+        clock = FakeClock()
+        progress = CampaignProgress(stream=None, clock=clock)
+        clock.advance(10.0)
+        progress.update(20, 100)
+        assert progress.rate == pytest.approx(2.0)
+        assert progress.eta_seconds == pytest.approx(40.0)
+
+    def test_rate_zero_before_first_completion(self):
+        clock = FakeClock()
+        progress = CampaignProgress(stream=None, clock=clock)
+        clock.advance(5.0)
+        progress.update(0, 100)
+        assert progress.rate == 0.0
+        assert progress.eta_seconds == float("inf")
+
+    def test_eta_shrinks_as_done_grows(self):
+        clock = FakeClock()
+        progress = CampaignProgress(stream=None, clock=clock)
+        clock.advance(10.0)
+        progress.update(10, 100)
+        first_eta = progress.eta_seconds
+        clock.advance(10.0)
+        progress.update(40, 100)
+        assert progress.eta_seconds < first_eta
+
+    def test_elapsed_tracks_clock(self):
+        clock = FakeClock(100.0)
+        progress = CampaignProgress(stream=None, clock=clock)
+        clock.advance(7.5)
+        assert progress.elapsed == pytest.approx(7.5)
+
+
+class TestRollingVerdicts:
+    def test_counts_by_outcome(self):
+        progress = CampaignProgress(stream=None)
+        outcomes = [
+            FakeResult(coverage=1.0),
+            FakeResult(coverage=1.0),
+            FakeResult(coverage=0.2),
+            FakeResult(coverage=0.0, witness=True),
+        ]
+        for i, result in enumerate(outcomes):
+            progress.update(i + 1, len(outcomes), result)
+        assert progress.proved == 2
+        assert progress.unproved == 1
+        assert progress.witnessed == 1
+
+    def test_partial_coverage_counts_as_unproved(self):
+        progress = CampaignProgress(stream=None)
+        progress.update(1, 1, FakeResult(coverage=0.999))
+        assert progress.unproved == 1
+
+    def test_update_without_result_keeps_counts(self):
+        progress = CampaignProgress(stream=None)
+        progress.update(1, 2)
+        assert (progress.proved, progress.unproved, progress.witnessed) == (0, 0, 0)
+
+    def test_legacy_callable_protocol(self):
+        progress = CampaignProgress(stream=None)
+        progress(3, 10)
+        assert progress.done == 3
+        assert progress.total == 10
+
+
+class TestRendering:
+    def test_render_contents(self):
+        clock = FakeClock()
+        progress = CampaignProgress(stream=None, clock=clock)
+        clock.advance(10.0)
+        for i in range(5):
+            progress.update(i + 1, 10, FakeResult(coverage=1.0))
+        line = progress.render()
+        assert "cells 5/10 (50.0%)" in line
+        assert "cell/s" in line
+        assert "ETA" in line
+        assert "proved 5" in line
+
+    def test_prints_throttled_but_final_always(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        progress = CampaignProgress(stream=stream, min_interval=1000.0, clock=clock)
+        progress.update(1, 3)  # first one prints (interval from -inf)
+        progress.update(2, 3)  # throttled
+        progress.update(3, 3)  # final: always prints
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert lines[-1].startswith("cells 3/3")
+
+    def test_no_eta_once_finished(self):
+        clock = FakeClock()
+        progress = CampaignProgress(stream=None, clock=clock)
+        clock.advance(2.0)
+        progress.update(4, 4)
+        assert "ETA" not in progress.render()

@@ -1,0 +1,156 @@
+"""The self-contained HTML dashboard and its SVG building blocks."""
+
+import pytest
+
+from repro.obs import (
+    RunRecord,
+    render_flamegraph_svg,
+    render_html_report,
+    render_phase_share_svg,
+)
+
+
+def make_record(run_id="r1", started_at=1000.0, wall=10.0, integrate=6.0):
+    return RunRecord(
+        run_id=run_id,
+        kind="verify",
+        started_at=started_at,
+        wall_seconds=wall,
+        git_sha="deadbeefcafe",
+        config={"arcs": 8, "headings": 3},
+        verdicts={"proved": 20, "unproved": 3, "witnessed": 1, "total": 24},
+        coverage_percent=83.3,
+        phases={
+            "integrate": {
+                "count": 100, "total_s": integrate,
+                "p50_s": 0.05, "p95_s": 0.09, "max_s": 0.2,
+            },
+            "join": {
+                "count": 40, "total_s": 1.0,
+                "p50_s": 0.02, "p95_s": 0.03, "max_s": 0.05,
+            },
+        },
+    )
+
+
+def span(name, ts, dur, **fields):
+    return {"kind": "span", "name": name, "ts": ts, "dur": dur, **fields}
+
+
+class TestFlamegraph:
+    def test_spans_become_lane_rectangles(self):
+        events = [
+            span("integrate", 1.0, 0.5),
+            span("integrate", 2.0, 0.25),
+            span("join", 2.5, 0.1, cell_id="cell-3"),
+            {"kind": "event", "name": "worker.start", "ts": 0.5},
+        ]
+        svg = render_flamegraph_svg(events)
+        assert svg.count("<rect") >= 3
+        assert "integrate" in svg
+        assert "join" in svg
+        assert "cell-3" in svg  # tooltip carries the cell id
+
+    def test_empty_or_malformed_events_degenerate_gracefully(self):
+        assert "<svg" in render_flamegraph_svg([])
+        assert "<svg" in render_flamegraph_svg(
+            [{"kind": "span", "name": "x", "ts": "not-a-number"}]
+        )
+
+    def test_rect_cap_is_announced_not_silent(self):
+        events = [span("integrate", i * 0.01, 0.005) for i in range(5000)]
+        svg = render_flamegraph_svg(events)
+        assert svg.count("<rect") <= 4100  # background + capped lanes
+        assert "hidden" in svg
+
+
+class TestPhaseShare:
+    def test_share_bar_proportional(self):
+        svg = render_phase_share_svg(
+            {"integrate": {"total_s": 3.0}, "join": {"total_s": 1.0}}
+        )
+        assert "integrate" in svg
+        assert "75" in svg or "75.0%" in svg
+
+    def test_empty_phases(self):
+        assert "<svg" in render_phase_share_svg({})
+
+
+class TestHtmlReport:
+    def test_single_record_report(self):
+        html = render_html_report([make_record()])
+        assert html.startswith("<!DOCTYPE html>")
+        assert "r1" in html
+        assert "deadbeefcafe" in html
+        assert "proved 20" in html
+        assert "83.30%" in html
+        assert "config.arcs" in html
+
+    def test_self_contained_no_external_requests(self):
+        html = render_html_report(
+            [make_record()],
+            trace_events=[span("integrate", 1.0, 0.5)],
+            figures=[("map", "<svg xmlns='http://www.w3.org/2000/svg'/>")],
+        )
+        # The only URLs allowed are SVG xmlns declarations.
+        stripped = html.replace("http://www.w3.org/2000/svg", "")
+        assert "http" not in stripped
+        for token in ("<script", "src=", "href=", "@import", "url("):
+            assert token not in stripped
+
+    def test_trends_across_records(self):
+        records = [
+            make_record("r1", started_at=1000.0, wall=10.0),
+            make_record("r2", started_at=2000.0, wall=8.0, integrate=4.0),
+            make_record("r3", started_at=3000.0, wall=9.0),
+        ]
+        html = render_html_report(records)
+        assert "Trends across 3 runs" in html
+        assert "wall seconds" in html
+        assert "polyline" in html  # sparklines rendered
+        assert "integrate total s" in html
+
+    def test_single_record_has_no_trend_section(self):
+        assert "Trends" not in render_html_report([make_record()])
+
+    def test_figures_inlined_with_captions(self):
+        html = render_html_report(
+            [make_record()],
+            figures=[("Fig. 9a safety map", "<svg data-test='map'/>")],
+        )
+        assert "data-test='map'" in html
+        assert "Fig. 9a safety map" in html
+
+    def test_flamegraph_included_when_trace_given(self):
+        html = render_html_report(
+            [make_record()], trace_events=[span("integrate", 1.0, 0.5)]
+        )
+        assert "Flamegraph" in html
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            render_html_report([])
+
+
+class TestSparkline:
+    def test_sparkline_shapes(self):
+        from repro.experiments import render_sparkline_svg
+
+        svg = render_sparkline_svg([1.0, 2.0, 1.5])
+        assert "polyline" in svg
+        assert "circle" in svg
+
+    def test_sparkline_degenerate_series(self):
+        from repro.experiments import render_sparkline_svg
+
+        assert "<svg" in render_sparkline_svg([])
+        assert "polyline" in render_sparkline_svg([5.0])
+        assert "polyline" in render_sparkline_svg([2.0, 2.0, 2.0])
+
+    def test_good_direction_colors_last_dot(self):
+        from repro.experiments import render_sparkline_svg
+
+        improving = render_sparkline_svg([5.0, 3.0], good_direction="down")
+        worsening = render_sparkline_svg([3.0, 5.0], good_direction="down")
+        assert "#2e9949" in improving
+        assert "#c0392b" in worsening
