@@ -1,0 +1,42 @@
+"""Static soundness analysis for the directed-rounding discipline.
+
+The verifier's SAFE verdicts are only as good as the promise that every
+bound in ``repro.intervals`` / ``ode`` / ``sets`` / ``verify`` is
+computed with outward rounding. This package checks that promise
+mechanically: an AST pass (rules S001-S005) over the sound-path
+packages, with inline ``# sound: ok <reason>`` pragmas for vetted
+exceptions and a committed baseline for grandfathered findings.
+
+Entry points: ``repro check`` on the command line, or::
+
+    from repro.analysis import check_paths, load_policy
+    findings = check_paths(["src/repro"], load_policy())
+
+See ``docs/SOUNDNESS.md`` for the discipline and the rule catalogue.
+"""
+
+from .baseline import load_baseline, partition, write_baseline
+from .model import CheckError, Finding, Pragma, fingerprint, parse_pragma
+from .policy import Policy, load_policy
+from .report import FORMATS, render
+from .rules import ALL_CODES, RULES
+from .visitor import check_paths, check_source
+
+__all__ = [
+    "ALL_CODES",
+    "CheckError",
+    "FORMATS",
+    "Finding",
+    "Policy",
+    "Pragma",
+    "RULES",
+    "check_paths",
+    "check_source",
+    "fingerprint",
+    "load_baseline",
+    "load_policy",
+    "parse_pragma",
+    "partition",
+    "render",
+    "write_baseline",
+]

@@ -1,0 +1,75 @@
+"""Committed-baseline handling: grandfathered findings warn, new ones fail.
+
+The baseline is a JSON file of finding fingerprints (see
+:func:`repro.analysis.model.fingerprint` — line-number independent, so
+unrelated edits don't churn it). Partitioning a fresh run against it
+yields three buckets:
+
+* **new** — findings with no baseline entry; these fail the check.
+* **known** — findings matching an entry; reported as warnings.
+* **stale** — entries matching nothing; the code was fixed (or moved),
+  reported so the baseline can be re-tightened with ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .model import CheckError, Finding, fingerprint
+
+__all__ = ["load_baseline", "partition", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> dict[str, dict]:
+    """Read a baseline file into ``{fingerprint: entry}``."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as error:
+        raise CheckError(f"could not read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise CheckError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(data, dict) or "findings" not in data:
+        raise CheckError(f"baseline {path} has no 'findings' list")
+    entries: dict[str, dict] = {}
+    for entry in data["findings"]:
+        if isinstance(entry, dict) and "fingerprint" in entry:
+            entries[str(entry["fingerprint"])] = entry
+    return entries
+
+
+def partition(
+    findings: list[Finding], baseline: dict[str, dict]
+) -> tuple[list[Finding], list[Finding], list[dict]]:
+    """Split findings into (new, known) and return stale baseline entries."""
+    new: list[Finding] = []
+    known: list[Finding] = []
+    matched: set[str] = set()
+    for finding in findings:
+        fp = fingerprint(finding)
+        if fp in baseline:
+            matched.add(fp)
+            known.append(finding.with_status("baselined"))
+        else:
+            new.append(finding)
+    stale = [entry for fp, entry in baseline.items() if fp not in matched]
+    return new, known, stale
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write the current findings as the new baseline (sorted, stable)."""
+    entries = [
+        {
+            "fingerprint": fingerprint(finding),
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "snippet": finding.snippet,
+        }
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,81 @@
+"""Implementation of ``repro check`` (the argparse wiring lives in
+:mod:`repro.cli`; this module does the work so the heavy imports stay
+lazy).
+
+Exit codes follow the ``stats``/``compare`` convention:
+
+* 0 — clean (no new findings; baselined warnings don't fail),
+* 1 — at least one new finding,
+* 2 — usage or input error (missing path, syntax error, bad baseline).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from .baseline import load_baseline, partition, write_baseline
+from .model import CheckError, Finding
+from .policy import load_policy
+from .report import FORMATS, render
+from .visitor import check_paths
+
+__all__ = ["DEFAULT_BASELINE", "run_check"]
+
+DEFAULT_BASELINE = "soundness-baseline.json"
+
+
+def run_check(
+    paths: list[str],
+    fmt: str = "text",
+    baseline_path: str | None = None,
+    no_baseline: bool = False,
+    update_baseline: bool = False,
+    select: list[str] | None = None,
+    out=None,
+) -> int:
+    """Run the soundness pass; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    try:
+        if fmt not in FORMATS:
+            raise CheckError(
+                f"unknown format {fmt!r} (choose from {', '.join(FORMATS)})"
+            )
+        policy = load_policy()
+        if select:
+            codes = tuple(code.strip().upper() for code in select if code.strip())
+            from dataclasses import replace
+
+            policy = replace(policy, select=codes)
+        findings = check_paths(list(paths), policy)
+
+        if update_baseline:
+            target = baseline_path or DEFAULT_BASELINE
+            write_baseline(target, findings)
+            print(
+                f"baseline {target} updated: {len(findings)} finding"
+                f"{'s' if len(findings) != 1 else ''}",
+                file=out,
+            )
+            return 0
+
+        baseline: dict[str, dict] = {}
+        resolved_baseline = baseline_path
+        if not no_baseline:
+            if resolved_baseline is None and Path(DEFAULT_BASELINE).exists():
+                resolved_baseline = DEFAULT_BASELINE
+            if resolved_baseline is not None:
+                baseline = load_baseline(resolved_baseline)
+
+        new, known, stale = partition(findings, baseline)
+
+        print(render(fmt, new, known, stale), file=out)
+        return 1 if new else 0
+    except CheckError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _self_check() -> list[Finding]:  # pragma: no cover - debugging helper
+    """Lint the repo's own sound path with default policy (for REPLs)."""
+    return check_paths(["src/repro"], load_policy())

@@ -1,0 +1,117 @@
+"""Data model of the soundness linter.
+
+A :class:`Finding` is one rule violation at one source location. Its
+:func:`fingerprint` deliberately ignores line numbers — it hashes the
+file path, the rule code and the *text* of the offending line (plus a
+duplicate counter), so committed baselines survive unrelated edits that
+merely shift code up or down.
+
+A :class:`Pragma` is an inline ``# sound: ok <reason>`` suppression
+comment. Pragmas require a written reason; a bare ``# sound: ok`` is
+itself reported (rule S000) so vetted exceptions stay documented.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "CheckError",
+    "Finding",
+    "Pragma",
+    "PRAGMA_RE",
+    "fingerprint",
+    "parse_pragma",
+]
+
+#: ``# sound: ok`` optionally followed by ``[S001,S002]`` and a reason.
+PRAGMA_RE = re.compile(
+    r"#\s*sound:\s*ok(?:\s*\[(?P<codes>[A-Za-z0-9,\s]*)\])?\s*(?P<reason>.*)$"
+)
+
+
+class CheckError(Exception):
+    """A usage or input error that should abort the check with exit 2.
+
+    Carries a one-line, user-facing message (missing path, syntax error
+    in a checked file, unreadable baseline, ...). Internal crashes are
+    *not* wrapped in this — those are bugs and should surface loudly.
+    """
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: The stripped source line, for reports and for the fingerprint.
+    snippet: str = ""
+    #: "error" (fails the check), "baselined" (grandfathered, warns) or
+    #: "stale" (a baseline entry that no longer matches anything).
+    status: str = "error"
+    #: Duplicate counter among identical (rule, snippet) pairs in the
+    #: same file, making fingerprints unique.
+    occurrence: int = 0
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def with_status(self, status: str) -> "Finding":
+        return replace(self, status=status)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "status": self.status,
+            "fingerprint": fingerprint(self),
+        }
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding across line-number drift."""
+    normalized = " ".join(finding.snippet.split())
+    payload = f"{finding.path}::{finding.rule}::{normalized}::{finding.occurrence}"
+    return hashlib.sha1(payload.encode()).hexdigest()[:16]
+
+
+@dataclass
+class Pragma:
+    """An inline ``# sound: ok`` suppression."""
+
+    line: int
+    #: Rule codes this pragma applies to; empty means "all rules".
+    codes: tuple[str, ...]
+    reason: str
+    #: Set by the engine when the pragma suppressed at least one finding.
+    used: bool = field(default=False, compare=False)
+
+    def applies_to(self, rule: str) -> bool:
+        return not self.codes or rule in self.codes
+
+
+def parse_pragma(comment: str, line: int) -> Pragma | None:
+    """Parse one comment token into a :class:`Pragma` (or None).
+
+    The reason may legitimately be empty here — the engine reports
+    reason-less pragmas as S000 findings rather than rejecting them.
+    """
+    match = PRAGMA_RE.search(comment)
+    if match is None:
+        return None
+    codes_text = match.group("codes") or ""
+    codes = tuple(
+        code.strip().upper() for code in codes_text.split(",") if code.strip()
+    )
+    return Pragma(line=line, codes=codes, reason=match.group("reason").strip())

@@ -1,0 +1,80 @@
+"""Rendering findings: ``text`` for humans, ``json`` for tools,
+``github`` for workflow annotations (``::error file=...``)."""
+
+from __future__ import annotations
+
+import json
+
+from .model import Finding
+
+__all__ = ["FORMATS", "render"]
+
+FORMATS = ("text", "json", "github")
+
+
+def _summary_line(new: list[Finding], known: list[Finding], stale: list[dict]) -> str:
+    parts = [f"{len(new)} finding{'s' if len(new) != 1 else ''}"]
+    if known:
+        parts.append(f"{len(known)} baselined")
+    if stale:
+        parts.append(f"{len(stale)} stale baseline entr{'ies' if len(stale) != 1 else 'y'}")
+    return ", ".join(parts)
+
+
+def _render_text(new: list[Finding], known: list[Finding], stale: list[dict]) -> str:
+    lines = []
+    for finding in new:
+        lines.append(f"{finding.location}: {finding.rule} {finding.message}")
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    for finding in known:
+        lines.append(
+            f"{finding.location}: {finding.rule} {finding.message} (baselined)"
+        )
+    for entry in stale:
+        lines.append(
+            f"{entry.get('path', '?')}: stale baseline entry "
+            f"{entry.get('fingerprint', '?')} ({entry.get('rule', '?')}); "
+            "re-run with --update-baseline to drop it"
+        )
+    lines.append(_summary_line(new, known, stale))
+    return "\n".join(lines)
+
+
+def _render_json(new: list[Finding], known: list[Finding], stale: list[dict]) -> str:
+    payload = {
+        "findings": [finding.to_dict() for finding in new + known],
+        "stale": stale,
+        "summary": {"new": len(new), "baselined": len(known), "stale": len(stale)},
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _render_github(new: list[Finding], known: list[Finding], stale: list[dict]) -> str:
+    lines = []
+    for finding in new:
+        lines.append(
+            f"::error file={finding.path},line={finding.line},col={finding.col},"
+            f"title=soundness {finding.rule}::{finding.message}"
+        )
+    for finding in known:
+        lines.append(
+            f"::warning file={finding.path},line={finding.line},col={finding.col},"
+            f"title=soundness {finding.rule} (baselined)::{finding.message}"
+        )
+    for entry in stale:
+        lines.append(
+            f"::warning title=stale baseline entry::"
+            f"{entry.get('path', '?')} {entry.get('fingerprint', '?')} no longer matches"
+        )
+    lines.append(_summary_line(new, known, stale))
+    return "\n".join(lines)
+
+
+def render(fmt: str, new: list[Finding], known: list[Finding],
+           stale: list[dict]) -> str:
+    if fmt == "json":
+        return _render_json(new, known, stale)
+    if fmt == "github":
+        return _render_github(new, known, stale)
+    return _render_text(new, known, stale)

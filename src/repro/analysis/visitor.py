@@ -1,0 +1,280 @@
+"""The traversal engine: one AST walk per module, all rules in lockstep.
+
+The walker maintains the little bit of context the rules need — the
+enclosing statement (for pragma scoping), the enclosing function (for
+zero-guard and constructor checks), and the *rounding depth*: how many
+directed-rounding calls (``rounding.up(...)``, ``np.nextafter(...)``)
+enclose the current node within the same expression. Arithmetic at
+positive rounding depth is exactly the code the discipline asks for, so
+S001/S002 stay quiet there.
+
+Pragmas (``# sound: ok <reason>``) are collected with ``tokenize`` so a
+``#`` inside a string literal cannot fake one. A pragma anywhere on the
+physical lines of a statement suppresses matching findings in that whole
+statement — one pragma covers a multi-line expression. Unused pragmas
+and pragmas without a reason are themselves reported (S000) so the
+suppression inventory cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from pathlib import Path
+
+from .model import CheckError, Finding, Pragma, parse_pragma
+from .policy import Policy
+from .rules import RULES, Rule, is_rounding_call
+
+__all__ = ["Context", "check_paths", "check_source"]
+
+_CONSTRUCTORS = frozenset({"__init__", "__new__", "__setstate__", "__post_init__"})
+
+
+class Context:
+    """What one rule sees while the engine walks one module."""
+
+    def __init__(self, path: str, source_lines: list[str], pragmas: list[Pragma],
+                 active_codes: tuple[str, ...]) -> None:
+        self.path = path
+        self._lines = source_lines
+        self._pragmas = pragmas
+        self._active = set(active_codes)
+        self.findings: list[Finding] = []
+        self.rounding_depth = 0
+        #: Names imported from math/numpy (``from math import sin``).
+        self.numeric_imports: set[str] = set()
+        self._stmt_stack: list[ast.stmt] = []
+        self._func_stack: list[ast.AST] = []
+        self._class_depth = 0
+        self._covered: set[tuple[str, int]] = set()
+
+    # -- structural queries -------------------------------------------------
+
+    @property
+    def current_function(self) -> ast.AST | None:
+        return self._func_stack[-1] if self._func_stack else None
+
+    @property
+    def in_constructor(self) -> bool:
+        func = self.current_function
+        return (
+            isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and func.name in _CONSTRUCTORS
+            and self._class_depth > 0
+        )
+
+    def cover(self, code: str, node: ast.AST) -> None:
+        """Mark a subtree as reported so inner nodes stay quiet."""
+        for sub in ast.walk(node):
+            self._covered.add((code, id(sub)))
+
+    def is_covered(self, code: str, node: ast.AST) -> bool:
+        return (code, id(node)) in self._covered
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self, rule: Rule, node: ast.AST, detail: str) -> None:
+        if rule.code not in self._active:
+            return
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        if self._suppressed(rule.code, node):
+            return
+        snippet = ""
+        if 0 < line <= len(self._lines):
+            snippet = self._lines[line - 1].strip()
+        self.findings.append(
+            Finding(
+                rule=rule.code,
+                path=self.path,
+                line=line,
+                col=col + 1,
+                message=f"{detail} [{rule.name}]",
+                snippet=snippet,
+            )
+        )
+
+    def _suppressed(self, code: str, node: ast.AST) -> bool:
+        start = getattr(node, "lineno", 0)
+        end = getattr(node, "end_lineno", start)
+        if self._stmt_stack:
+            stmt = self._stmt_stack[-1]
+            start = min(start, stmt.lineno)
+            end = max(end, stmt.end_lineno or stmt.lineno)
+        hit = False
+        for pragma in self._pragmas:
+            in_stmt = start <= pragma.line <= end
+            # A pragma in the comment block directly above the statement
+            # also covers it ("disable-next-line" style, possibly wrapped
+            # over several comment lines).
+            above = pragma.line < start and all(
+                self._is_comment_line(line) for line in range(pragma.line, start)
+            )
+            if (in_stmt or above) and pragma.applies_to(code):
+                pragma.used = True
+                hit = True
+        return hit
+
+    def _is_comment_line(self, line: int) -> bool:
+        if not 0 < line <= len(self._lines):
+            return False
+        return self._lines[line - 1].lstrip().startswith("#")
+
+
+class _Walker:
+    """Drives every rule over every node, top-down, in one pass."""
+
+    def __init__(self, ctx: Context, rules: tuple[Rule, ...]) -> None:
+        self.ctx = ctx
+        self.rules = rules
+
+    def walk(self, node: ast.AST) -> None:
+        ctx = self.ctx
+        is_stmt = isinstance(node, ast.stmt)
+        is_func = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        is_class = isinstance(node, ast.ClassDef)
+        if is_stmt:
+            ctx._stmt_stack.append(node)
+        if is_func:
+            ctx._func_stack.append(node)
+        if is_class:
+            ctx._class_depth += 1
+        try:
+            if isinstance(node, ast.ImportFrom) and node.module in ("math", "numpy"):
+                for alias in node.names:
+                    ctx.numeric_imports.add(alias.asname or alias.name)
+            for rule in self.rules:
+                rule.visit(node, ctx)
+            if isinstance(node, ast.Call) and is_rounding_call(node):
+                # The callee itself is ordinary code; the *arguments* are
+                # under directed rounding.
+                self.walk(node.func)
+                ctx.rounding_depth += 1
+                try:
+                    for arg in node.args:
+                        self.walk(arg)
+                    for keyword in node.keywords:
+                        self.walk(keyword)
+                finally:
+                    ctx.rounding_depth -= 1
+            else:
+                for child in ast.iter_child_nodes(node):
+                    self.walk(child)
+        finally:
+            if is_stmt:
+                ctx._stmt_stack.pop()
+            if is_func:
+                ctx._func_stack.pop()
+            if is_class:
+                ctx._class_depth -= 1
+
+
+def _collect_pragmas(source: str, path: str) -> list[Pragma]:
+    pragmas: list[Pragma] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                pragma = parse_pragma(token.string, token.start[0])
+                if pragma is not None:
+                    pragmas.append(pragma)
+    except tokenize.TokenError as error:  # pragma: no cover - ast parsed OK
+        raise CheckError(f"{path}: could not tokenize: {error}") from error
+    return pragmas
+
+
+def _assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Number duplicate (rule, snippet) pairs so fingerprints are unique."""
+    from dataclasses import replace
+
+    counts: dict[tuple[str, str], int] = {}
+    out = []
+    for finding in findings:
+        key = (finding.rule, " ".join(finding.snippet.split()))
+        n = counts.get(key, 0)
+        counts[key] = n + 1
+        out.append(replace(finding, occurrence=n) if n else finding)
+    return out
+
+
+def check_source(source: str, path: str, policy: Policy | None = None,
+                 explicit: bool = False) -> list[Finding]:
+    """Lint one module's source text; returns its findings.
+
+    Raises :class:`CheckError` on a syntax error (the caller turns that
+    into exit code 2 — a file we cannot parse is a file we cannot vouch
+    for, which is an input problem, not a crash).
+    """
+    policy = policy or Policy()
+    from .rules import ALL_CODES
+
+    if not policy.in_scope(path, explicit=explicit):
+        return []
+    active = policy.rules_for(path, ALL_CODES)
+    if not active:
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        line = error.lineno or 0
+        raise CheckError(f"{path}:{line}: syntax error: {error.msg}") from error
+    pragmas = _collect_pragmas(source, path)
+    lines = source.splitlines()
+    ctx = Context(path, lines, pragmas, active)
+    rules = tuple(rule for rule in RULES if rule.code in active)
+    _Walker(ctx, rules).walk(tree)
+    if "S000" in active:
+        for pragma in pragmas:
+            if not pragma.reason:
+                ctx.findings.append(Finding(
+                    rule="S000", path=path, line=pragma.line, col=1,
+                    message="`# sound: ok` needs a written reason [pragma-hygiene]",
+                    snippet=lines[pragma.line - 1].strip()
+                    if pragma.line <= len(lines) else "",
+                ))
+            elif not pragma.used and policy.select is None:
+                ctx.findings.append(Finding(
+                    rule="S000", path=path, line=pragma.line, col=1,
+                    message="unused `# sound: ok` pragma [pragma-hygiene]",
+                    snippet=lines[pragma.line - 1].strip()
+                    if pragma.line <= len(lines) else "",
+                ))
+    ctx.findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return _assign_occurrences(ctx.findings)
+
+
+def _iter_files(paths: list[str | Path]) -> list[tuple[Path, bool]]:
+    """Expand the command-line paths to (file, was_explicit) pairs."""
+    out: list[tuple[Path, bool]] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend((file, False) for file in sorted(path.rglob("*.py")))
+        elif path.is_file():
+            out.append((path, True))
+        else:
+            raise CheckError(f"no such file or directory: {path}")
+    return out
+
+
+def check_paths(paths: list[str | Path], policy: Policy | None = None) -> list[Finding]:
+    """Lint files and directories; directories are filtered by policy,
+    explicitly named files are always checked (excludes still apply)."""
+    policy = policy or Policy()
+    findings: list[Finding] = []
+    seen: set[Path] = set()
+    for file, explicit in _iter_files(paths):
+        resolved = file.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        try:
+            source = file.read_text()
+        except (OSError, UnicodeDecodeError) as error:
+            raise CheckError(f"could not read {file}: {error}") from error
+        findings.extend(
+            check_source(source, file.as_posix(), policy, explicit=explicit)
+        )
+    return findings

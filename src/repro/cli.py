@@ -618,6 +618,19 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 2
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from .analysis.cli import run_check
+
+    return run_check(
+        paths=args.paths,
+        fmt=args.format,
+        baseline_path=args.baseline,
+        no_baseline=args.no_baseline,
+        update_baseline=args.update_baseline,
+        select=args.select,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-nncs",
@@ -759,6 +772,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed coverage drop in percentage points",
     )
     p_compare.set_defaults(fn=cmd_compare)
+
+    p_check = sub.add_parser(
+        "check",
+        help="soundness lint: enforce the directed-rounding discipline "
+        "on the sound-path packages (rules S001-S005)",
+    )
+    p_check.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to check (default: src/repro; "
+        "directories are filtered by the [tool.repro.soundness] policy, "
+        "explicit files are always checked)",
+    )
+    p_check.add_argument(
+        "--format", choices=["text", "json", "github"], default="text",
+        help="output format (github emits workflow annotations)",
+    )
+    p_check.add_argument(
+        "--baseline",
+        help="baseline JSON path (default: soundness-baseline.json if present)",
+    )
+    p_check.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline; report every finding as new",
+    )
+    p_check.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    p_check.add_argument(
+        "--select", action="append",
+        help="only run these rule codes (repeatable, e.g. --select S001)",
+    )
+    p_check.set_defaults(fn=cmd_check)
 
     p_export = sub.add_parser(
         "export", help="write the trained bank as .nnet files"

@@ -21,6 +21,7 @@ from typing import Callable, Mapping
 
 from .functions import icos, isin, isqrt
 from .interval import Interval
+from .rounding import up
 
 _fresh_symbol = itertools.count(1)
 
@@ -35,7 +36,9 @@ class AffineForm:
 
     __slots__ = ("center", "terms", "err")
 
-    def __init__(self, center: float, terms: Mapping[int, float] | None = None, err: float = 0.0):
+    def __init__(
+        self, center: float, terms: Mapping[int, float] | None = None, err: float = 0.0
+    ) -> None:
         if err < 0.0:
             raise ValueError("error radius must be non-negative")
         self.center = float(center)
@@ -67,6 +70,7 @@ class AffineForm:
         spread = Interval.point(self.err)
         for coef in self.terms.values():
             spread = spread + abs(coef)
+        # sound: ok [S001] operands are Intervals; Interval.__add__ rounds outward
         return total + Interval(-spread.hi, spread.hi)
 
     @property
@@ -92,7 +96,9 @@ class AffineForm:
     def __add__(self, other: "AffineForm | float | int") -> "AffineForm":
         if not isinstance(other, AffineForm):
             center, slack = self._squash(Interval.point(self.center) + float(other))
-            return AffineForm(center, self.terms, self.err + slack)
+            # Error radii accumulate with upward rounding: a nearest-mode
+            # sum could round *below* the true total and shrink the bound.
+            return AffineForm(center, self.terms, up(self.err + slack))
         new_terms: dict[int, float] = {}
         err = 0.0
         keys = set(self.terms) | set(other.terms)
@@ -101,7 +107,7 @@ class AffineForm:
             coef, slack = self._squash(coef_iv)
             if coef != 0.0:
                 new_terms[k] = coef
-            err += slack
+            err = up(err + slack)
         center, slack = self._squash(Interval.point(self.center) + other.center)
         err_iv = Interval.point(self.err) + other.err + err + slack
         return AffineForm(center, new_terms, err_iv.hi)
@@ -119,13 +125,13 @@ class AffineForm:
     def __mul__(self, other: "AffineForm | float | int") -> "AffineForm":
         if not isinstance(other, AffineForm):
             factor = float(other)
-            new_terms = {}
+            new_terms: dict[int, float] = {}
             err = 0.0
             for k, v in self.terms.items():
                 coef, slack = self._squash(Interval.point(v) * factor)
                 if coef != 0.0:
                     new_terms[k] = coef
-                err += slack
+                err = up(err + slack)
             center, slack = self._squash(Interval.point(self.center) * factor)
             err_iv = Interval.point(self.err) * abs(factor) + err + slack
             return AffineForm(center, new_terms, err_iv.hi)
@@ -135,7 +141,7 @@ class AffineForm:
         sy_terms = AffineForm(0.0, other.terms, other.err) * self.center
         linear = sx + sy_terms
         quad = Interval.point(self.radius_bound) * other.radius_bound
-        return AffineForm(linear.center, linear.terms, linear.err + quad.hi)
+        return AffineForm(linear.center, linear.terms, up(linear.err + quad.hi))
 
     __rmul__ = __mul__
 
@@ -159,16 +165,16 @@ class AffineForm:
         residual_slope = (slope_iv - alpha).mag
         dev = self.radius_bound
 
-        new_terms = {}
+        new_terms: dict[int, float] = {}
         err = 0.0
         for k, v in self.terms.items():
             coef, slack = self._squash(Interval.point(v) * alpha)
             if coef != 0.0:
                 new_terms[k] = coef
-            err += slack
+            err = up(err + slack)
         center, slack = self._squash(center_iv)
         err_total = (
-            Interval.point(err + slack)
+            Interval.point(err) + slack
             + Interval.point(self.err) * abs(alpha)
             + Interval.point(residual_slope) * dev
         )
@@ -223,12 +229,14 @@ def atan2_affine(y: AffineForm, x: AffineForm) -> AffineForm:
     offset_iv = center_iv - (
         Interval.point(x.center) * ax + Interval.point(y.center) * ay
     )
-    residual = (dx - ax).mag * x.radius_bound + (dy - ay).mag * y.radius_bound
+    residual = up(
+        up((dx - ax).mag * x.radius_bound) + up((dy - ay).mag * y.radius_bound)
+    )
     shifted = lin + offset_iv.mid
     out = AffineForm(
         shifted.center,
         shifted.terms,
-        shifted.err + (offset_iv - offset_iv.mid).mag + residual * (1.0 + 1e-12) + 1e-300,
+        up(up(shifted.err + (offset_iv - offset_iv.mid).mag) + residual) + 1e-300,
     )
     # Intersecting with the plain interval result never hurts.
     if out.to_interval().width > full.width:

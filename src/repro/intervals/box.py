@@ -22,7 +22,7 @@ class Box:
 
     __slots__ = ("lo", "hi")
 
-    def __init__(self, lo: Sequence[float] | np.ndarray, hi: Sequence[float] | np.ndarray):
+    def __init__(self, lo: Sequence[float] | np.ndarray, hi: Sequence[float] | np.ndarray) -> None:
         lo_arr = np.asarray(lo, dtype=float).copy()
         hi_arr = np.asarray(hi, dtype=float).copy()
         if lo_arr.shape != hi_arr.shape or lo_arr.ndim != 1:
@@ -81,15 +81,20 @@ class Box:
     @property
     def center(self) -> np.ndarray:
         """Midpoint vector (clipped into the box for robustness)."""
+        # sound: ok [S001] any vector works as a center; the clip below
+        # guarantees membership, which is all callers rely on
         mid = 0.5 * (self.lo + self.hi)
         return np.clip(mid, self.lo, self.hi)
 
     @property
     def widths(self) -> np.ndarray:
+        # sound: ok [S001] split/refinement heuristics and diagnostics only;
+        # no verified bound is derived from widths
         return self.hi - self.lo
 
     @property
     def radii(self) -> np.ndarray:
+        # sound: ok [S001] heuristic/diagnostic quantity, not a verified bound
         return 0.5 * (self.hi - self.lo)
 
     @property
@@ -106,6 +111,7 @@ class Box:
 
     def log_volume(self, floor: float = 1e-300) -> float:
         """Sum of log widths; robust for high-dimensional comparisons."""
+        # sound: ok [S002] comparison metric for refinement ordering only
         return float(np.sum(np.log(np.maximum(self.widths, floor))))
 
     def is_finite(self) -> bool:
@@ -124,7 +130,7 @@ class Box:
     def overlaps(self, other: "Box") -> bool:
         return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
 
-    def __contains__(self, item) -> bool:
+    def __contains__(self, item: "Box | Sequence[float] | np.ndarray") -> bool:
         if isinstance(item, Box):
             return self.contains_box(item)
         return self.contains_point(item)
@@ -157,8 +163,11 @@ class Box:
         """Split into two halves along ``dim``."""
         mid = self.center[dim]
         left_hi = self.hi.copy()
+        # sound: ok [S004] writes go to private copies; the halves share the
+        # exact midpoint float, so their union covers self
         left_hi[dim] = mid
         right_lo = self.lo.copy()
+        # sound: ok [S004] private copy, see above
         right_lo[dim] = mid
         return Box(self.lo, left_hi), Box(right_lo, self.hi)
 
@@ -184,6 +193,8 @@ class Box:
     def sample(self, rng: np.random.Generator, count: int = 1) -> np.ndarray:
         """Uniform random points inside the box, shape ``(count, dim)``."""
         u = rng.random((count, self.dim))
+        # sound: ok [S001] falsification sampling; samples are concrete
+        # simulation inputs, never verified bounds
         return self.lo + u * (self.hi - self.lo)
 
     def center_distance_sq(self, other: "Box") -> float:

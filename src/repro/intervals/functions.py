@@ -27,12 +27,16 @@ def _contains_phase(lo: float, hi: float, phase: float) -> bool:
     Conservative: may return True for near misses (which is sound).
     """
     two_pi = 2.0 * math.pi
+    # sound: ok [S001] one-sided predicate: _PHASE_SLOP absorbs all rounding
+    # error, and a spurious True only widens the result
     k = math.floor((lo - phase) / two_pi - _PHASE_SLOP)
     # Candidate extremum locations straddling the interval start.
     for kk in (k, k + 1, k + 2):
         x = phase + kk * two_pi
+        # sound: ok [S001] slop-protected comparison, errs toward True
         if lo - _PHASE_SLOP <= x <= hi + _PHASE_SLOP:
             return True
+        # sound: ok [S001] early exit; missing it only costs iterations
         if x > hi + _PHASE_SLOP:
             break
     return False
@@ -121,6 +125,8 @@ def iatan2(y: Interval, x: Interval) -> Interval:
     touches_cut = x.lo <= 0.0 and y.lo <= 0.0 <= y.hi
     if touches_cut:
         return Interval(lib_down(-math.pi), lib_up(math.pi))
+    # sound: ok [S002] the corner values are widened by LIBM_ULPS via
+    # lib_down/lib_up on the return line, covering libm's rounding error
     corners = [
         math.atan2(y.lo, x.lo),
         math.atan2(y.lo, x.hi),

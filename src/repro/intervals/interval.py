@@ -14,7 +14,7 @@ symbolic-state machinery are all built on it.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Union
+from typing import Iterable, Iterator, Union
 
 from .rounding import down, up
 
@@ -30,7 +30,7 @@ class Interval:
 
     __slots__ = ("lo", "hi")
 
-    def __init__(self, lo: Number, hi: Number | None = None):
+    def __init__(self, lo: Number, hi: Number | None = None) -> None:
         if hi is None:
             hi = lo
         lo = float(lo)
@@ -85,6 +85,8 @@ class Interval:
             if math.isinf(self.lo) and math.isinf(self.hi):
                 return 0.0
             return self.lo if math.isinf(self.hi) else self.hi
+        # sound: ok [S001] any float works as a midpoint; the clamp below
+        # guarantees membership, which is all callers rely on
         m = 0.5 * (self.lo + self.hi)
         return min(max(m, self.lo), self.hi)
 
@@ -108,6 +110,7 @@ class Interval:
         return 0.0
 
     def is_point(self) -> bool:
+        # sound: ok [S003] exact degeneracy test is the intent here
         return self.lo == self.hi
 
     def is_finite(self) -> bool:
@@ -187,6 +190,8 @@ class Interval:
 
     def __mul__(self, other: "Interval | Number") -> "Interval":
         o = Interval.coerce(other)
+        # sound: ok [S001] each product is one nearest-mode op (error below
+        # half an ulp); the one-ulp outward step in down()/up() below covers it
         products = (
             self.lo * o.lo,
             self.lo * o.hi,
@@ -203,6 +208,8 @@ class Interval:
         o = Interval.coerce(other)
         if o.lo <= 0.0 <= o.hi:
             raise ZeroDivisionError(f"division by interval containing zero: {o}")
+        # sound: ok [S001] one nearest-mode op per quotient, covered by the
+        # one-ulp outward step in down()/up() below
         quotients = (
             self.lo / o.lo,
             self.lo / o.hi,
@@ -273,6 +280,7 @@ class Interval:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Interval):
             return NotImplemented
+        # sound: ok [S003] structural identity of endpoints is the intent
         return self.lo == other.lo and self.hi == other.hi
 
     def __hash__(self) -> int:
@@ -281,7 +289,7 @@ class Interval:
     def __repr__(self) -> str:
         return f"[{self.lo:.17g}, {self.hi:.17g}]"
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[float]:
         yield self.lo
         yield self.hi
 

@@ -143,6 +143,13 @@ def rhs_jacobian(
     return rows
 
 
+def _nearest_pow2(x: float) -> float:
+    """Snap a positive float to the nearest power of two."""
+    m, e = math.frexp(x)  # x = m * 2**e with m in [0.5, 1)
+    # Geometric midpoint of [0.5, 1) is sqrt(1/2).
+    return math.ldexp(1.0, e if m > 0.7071067811865476 else e - 1)
+
+
 def balance_scales(a_matrix: IntervalMatrix, sweeps: int = 8) -> list[float]:
     """Osborne-style diagonal balancing of ``|A|``.
 
@@ -150,8 +157,14 @@ def balance_scales(a_matrix: IntervalMatrix, sweeps: int = 8) -> list[float]:
     makes the raw norm ``||A||·h`` huge even when the dynamics are
     mild. Balancing finds ``d`` with ``A'_ij = A_ij d_j / d_i`` of
     equilibrated row/column norms; the variational Picard contracts in
-    the scaled coordinates. Similarity scaling is exact, so soundness
-    is unaffected.
+    the scaled coordinates.
+
+    The returned factors are snapped to exact powers of two (the LAPACK
+    ``gebal`` trick): every similarity ratio ``d_j / d_i`` and its
+    inverse are then exact floats, so scaling and unscaling compose to
+    the identity and soundness is unaffected. Raw nearest-mode ratios
+    would *not* be exact inverses of each other, silently shifting the
+    enclosure.
     """
     n = len(a_matrix)
     mags = [[a_matrix[i][j].mag for j in range(n)] for i in range(n)]
@@ -166,11 +179,13 @@ def balance_scales(a_matrix: IntervalMatrix, sweeps: int = 8) -> list[float]:
             row = sum(mags[i][j] * d[j] for j in range(n) if j != i) / d[i]
             col = sum(mags[j][i] * d[i] / d[j] for j in range(n) if j != i)
             if row > 0.0 and col > 0.0:
+                # sound: ok [S002] heuristic scale choice only; the factors
+                # are snapped to exact powers of two before use
                 factor = math.sqrt(row / col)
                 d[i] *= min(max(factor, 1e-8), 1e8)
     if any(not math.isfinite(x) or x <= 0.0 for x in d):
         return [1.0] * n
-    return d
+    return [_nearest_pow2(x) for x in d]
 
 
 def jacobian_apriori_enclosure(
@@ -198,7 +213,9 @@ def jacobian_apriori_enclosure(
         trial = mat_inflate(candidate, growth, 1e-9)
         image = mat_add(eye, mat_scale(mat_mul(scaled, trial), h_iv))
         if mat_contains(trial, image):
-            # Undo the similarity scaling: J = D J' D^{-1}.
+            # Undo the similarity scaling: J = D J' D^{-1}. The ratios
+            # d[i]/d[j] are exact powers of two, so this inverts the
+            # forward scaling exactly.
             return [
                 [image[i][j] * (d[i] / d[j]) for j in range(n)]
                 for i in range(n)

@@ -32,7 +32,7 @@ class PerCommandSet:
         self,
         by_command: Mapping[int, SetSpec],
         default: SetSpec | None = None,
-    ):
+    ) -> None:
         self.by_command = dict(by_command)
         self.default = default if default is not None else EmptySet()
 
@@ -64,7 +64,7 @@ class PerCommandSet:
         return f"PerCommandSet({self.by_command!r}, default={self.default!r})"
 
 
-def resolve_for_command(spec, command: int):
+def resolve_for_command(spec: object, command: int) -> object:
     """Resolve a possibly command-dependent spec for a concrete command.
 
     Plain :class:`SetSpec` objects pass through unchanged; objects with

@@ -28,7 +28,7 @@ class BallSet:
         dims: tuple[int, int],
         center: tuple[float, float],
         radius: float,
-    ):
+    ) -> None:
         if radius <= 0.0:
             raise ValueError("radius must be positive")
         self.dims = dims
@@ -49,6 +49,8 @@ class BallSet:
     def contains_point(self, point: np.ndarray) -> bool:
         dx = float(point[self.dims[0]]) - self.center[0]
         dy = float(point[self.dims[1]]) - self.center[1]
+        # sound: ok [S002] concrete-point query (simulation/falsification);
+        # the verified set checks go through _distance_interval
         return math.hypot(dx, dy) < self.radius
 
     def __repr__(self) -> str:
@@ -67,7 +69,7 @@ class OutsideBallSet:
         dims: tuple[int, int],
         center: tuple[float, float],
         radius: float,
-    ):
+    ) -> None:
         self._ball = BallSet(dims, center, radius)
 
     @property
@@ -84,6 +86,8 @@ class OutsideBallSet:
         ball = self._ball
         dx = float(point[ball.dims[0]]) - ball.center[0]
         dy = float(point[ball.dims[1]]) - ball.center[1]
+        # sound: ok [S002] concrete-point query (simulation/falsification);
+        # the verified set checks go through _distance_interval
         return math.hypot(dx, dy) > ball.radius
 
     def __repr__(self) -> str:
@@ -93,7 +97,7 @@ class OutsideBallSet:
 class HalfSpaceSet:
     """Half-space ``normal . x <= offset``."""
 
-    def __init__(self, normal: Sequence[float], offset: float):
+    def __init__(self, normal: Sequence[float], offset: float) -> None:
         self.normal = np.asarray(normal, dtype=float)
         self.offset = float(offset)
 
@@ -120,7 +124,7 @@ class HalfSpaceSet:
 class BoxSet:
     """An axis-aligned box as a set specification."""
 
-    def __init__(self, box: Box):
+    def __init__(self, box: Box) -> None:
         self.box = box
 
     def contains_box(self, other: Box) -> bool:
@@ -149,7 +153,7 @@ class SublevelSet:
         g_interval: Callable[[Box], Interval],
         g_point: Callable[[np.ndarray], float],
         name: str = "sublevel",
-    ):
+    ) -> None:
         self.g_interval = g_interval
         self.g_point = g_point
         self.name = name

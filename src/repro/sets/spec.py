@@ -48,7 +48,7 @@ class ComplementSet:
     disjoint from the original set, and vice versa.
     """
 
-    def __init__(self, inner: SetSpec):
+    def __init__(self, inner: SetSpec) -> None:
         self.inner = inner
 
     def contains_box(self, box: Box) -> bool:
@@ -67,7 +67,7 @@ class ComplementSet:
 class UnionSet:
     """Union of specifications."""
 
-    def __init__(self, parts: Sequence[SetSpec]):
+    def __init__(self, parts: Sequence[SetSpec]) -> None:
         if not parts:
             raise ValueError("union of zero sets is empty; use EmptySet")
         self.parts = list(parts)
@@ -89,7 +89,7 @@ class UnionSet:
 class IntersectionSet:
     """Intersection of specifications."""
 
-    def __init__(self, parts: Sequence[SetSpec]):
+    def __init__(self, parts: Sequence[SetSpec]) -> None:
         if not parts:
             raise ValueError("intersection of zero sets is everything; use FullSet")
         self.parts = list(parts)

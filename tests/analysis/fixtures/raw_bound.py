@@ -1,0 +1,13 @@
+"""Fixture: deliberately violates the directed-rounding discipline.
+
+Used by the CLI tests (and the PR acceptance check) to prove that
+``repro check`` exits 1 on a raw-float bound computation. Never import
+this from production code.
+"""
+
+
+def widen(iv, margin):
+    # Raw nearest-mode arithmetic on interval bounds: S001 twice.
+    new_lo = iv.lo - margin
+    new_hi = iv.hi + margin
+    return new_lo, new_hi

@@ -1,0 +1,96 @@
+"""Fingerprint stability and baseline add/expire semantics."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CheckError,
+    Finding,
+    fingerprint,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+
+
+def make(rule="S001", path="src/repro/intervals/a.py", line=10,
+         snippet="x = iv.lo + 1.0", occurrence=0):
+    return Finding(rule=rule, path=path, line=line, col=5,
+                   message="raw add", snippet=snippet, occurrence=occurrence)
+
+
+class TestFingerprint:
+    def test_line_number_independent(self):
+        a, b = make(line=10), make(line=99)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_whitespace_insensitive(self):
+        a = make(snippet="x = iv.lo + 1.0")
+        b = make(snippet="x  =  iv.lo   + 1.0")
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_rule_and_path_sensitive(self):
+        assert fingerprint(make(rule="S002")) != fingerprint(make(rule="S001"))
+        assert fingerprint(make(path="other.py")) != fingerprint(make())
+
+    def test_occurrence_disambiguates_duplicates(self):
+        assert fingerprint(make(occurrence=0)) != fingerprint(make(occurrence=1))
+
+
+class TestPartition:
+    def test_new_vs_known(self):
+        known_finding = make()
+        baseline = {fingerprint(known_finding): {"rule": "S001"}}
+        fresh = make(rule="S004", snippet="iv.lo = 0.0")
+        new, known, stale = partition([known_finding, fresh], baseline)
+        assert [f.rule for f in new] == ["S004"]
+        assert [f.rule for f in known] == ["S001"]
+        assert known[0].status == "baselined"
+        assert stale == []
+
+    def test_stale_entries_surface(self):
+        baseline = {"deadbeefdeadbeef": {"rule": "S001", "path": "gone.py"}}
+        new, known, stale = partition([], baseline)
+        assert new == [] and known == []
+        assert stale == [{"rule": "S001", "path": "gone.py"}]
+
+    def test_line_shift_keeps_finding_baselined(self):
+        original = make(line=10)
+        baseline = {fingerprint(original): {"rule": "S001"}}
+        shifted = make(line=42)
+        new, known, stale = partition([shifted], baseline)
+        assert new == [] and len(known) == 1 and stale == []
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [make(), make(rule="S004", snippet="iv.lo = 0.0")]
+        write_baseline(path, findings)
+        loaded = load_baseline(path)
+        assert set(loaded) == {fingerprint(f) for f in findings}
+
+    def test_update_expires_fixed_findings(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [make(), make(rule="S004", snippet="iv.lo = 0.0")])
+        # The S004 got fixed; rewriting from current findings drops it.
+        write_baseline(path, [make()])
+        new, known, stale = partition([make()], load_baseline(path))
+        assert new == [] and len(known) == 1 and stale == []
+
+    def test_malformed_json_is_check_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckError):
+            load_baseline(path)
+
+    def test_missing_findings_key_is_check_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1}))
+        with pytest.raises(CheckError):
+            load_baseline(path)
+
+    def test_missing_file_is_check_error(self, tmp_path):
+        with pytest.raises(CheckError):
+            load_baseline(tmp_path / "nope.json")

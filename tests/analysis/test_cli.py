@@ -1,0 +1,112 @@
+"""Exit codes and output formats of ``repro check``."""
+
+import io
+import json
+from pathlib import Path
+
+from repro.analysis.cli import run_check
+from repro.cli import main
+
+FIXTURE = Path(__file__).parent / "fixtures" / "raw_bound.py"
+
+
+def run(paths, **kwargs):
+    out = io.StringIO()
+    code = run_check([str(p) for p in paths], out=out, **kwargs)
+    return code, out.getvalue()
+
+
+class TestExitCodes:
+    def test_fixture_with_raw_bound_exits_1(self):
+        code, output = run([FIXTURE], no_baseline=True)
+        assert code == 1
+        assert "S001" in output
+
+    def test_clean_file_exits_0(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(a, b):\n    return a + b\n")
+        code, output = run([clean], no_baseline=True)
+        assert code == 0
+        assert "0 findings" in output
+
+    def test_syntax_error_exits_2(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        code, _ = run([broken], no_baseline=True)
+        assert code == 2
+        assert "syntax error" in capsys.readouterr().err
+
+    def test_missing_path_exits_2(self, capsys):
+        code, _ = run(["/nonexistent/nope.py"], no_baseline=True)
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_format_exits_2(self, capsys):
+        code, _ = run([FIXTURE], fmt="yaml", no_baseline=True)
+        assert code == 2
+
+
+class TestFormats:
+    def test_json_format(self):
+        code, output = run([FIXTURE], fmt="json", no_baseline=True)
+        assert code == 1
+        payload = json.loads(output)
+        assert payload["summary"]["new"] >= 2
+        rules = {f["rule"] for f in payload["findings"]}
+        assert "S001" in rules
+        assert all("fingerprint" in f for f in payload["findings"])
+
+    def test_github_format(self):
+        code, output = run([FIXTURE], fmt="github", no_baseline=True)
+        assert code == 1
+        assert "::error file=" in output
+        assert "line=" in output
+
+    def test_text_format_includes_snippet(self):
+        _, output = run([FIXTURE], no_baseline=True)
+        assert "iv.lo - margin" in output
+
+
+class TestBaselineFlow:
+    def test_update_then_clean(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        code, _ = run([FIXTURE], update_baseline=True,
+                      baseline_path=str(baseline))
+        assert code == 0 and baseline.exists()
+        code, output = run([FIXTURE], baseline_path=str(baseline))
+        assert code == 0
+        assert "baselined" in output
+
+    def test_stale_entry_warns_but_passes(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "findings": [{"fingerprint": "feedfacefeedface", "rule": "S001",
+                          "path": "gone.py"}],
+        }))
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        code, output = run([clean], baseline_path=str(baseline))
+        assert code == 0
+        assert "stale" in output
+
+
+class TestSelect:
+    def test_select_limits_rules(self, tmp_path):
+        code, output = run([FIXTURE], select=["s001"], no_baseline=True)
+        assert code == 1
+        # Findings are S001 only (plus no S000 hygiene under select).
+        assert "S001" in output and "S005" not in output
+
+
+class TestMainIntegration:
+    def test_repro_check_subcommand(self, capsys):
+        code = main(["check", "--no-baseline", str(FIXTURE)])
+        assert code == 1
+        assert "S001" in capsys.readouterr().out
+
+    def test_repo_tree_is_clean(self):
+        # The acceptance criterion: the shipped tree passes its own check
+        # against the committed baseline.
+        code = main(["check"])
+        assert code == 0

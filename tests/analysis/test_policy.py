@@ -1,0 +1,81 @@
+"""Policy matching and pyproject loading."""
+
+import pytest
+
+from repro.analysis import CheckError, Policy, load_policy
+from repro.analysis.rules import ALL_CODES
+
+
+class TestScope:
+    def test_default_includes_sound_path(self):
+        policy = Policy()
+        assert policy.in_scope("src/repro/intervals/interval.py")
+        assert policy.in_scope("src/repro/ode/meanvalue.py")
+        assert policy.in_scope("src/repro/sets/spec.py")
+        assert policy.in_scope("src/repro/verify/symbolic.py")
+
+    def test_default_excludes_rest(self):
+        policy = Policy()
+        assert not policy.in_scope("src/repro/nn/train.py")
+        assert not policy.in_scope("src/repro/cli.py")
+        assert not policy.in_scope("src/repro/intervals/rounding.py")
+
+    def test_explicit_file_always_checked(self):
+        policy = Policy()
+        assert policy.in_scope("tests/analysis/fixtures/raw_bound.py", explicit=True)
+        # ... but excludes still win, even explicitly.
+        assert not policy.in_scope("src/repro/intervals/rounding.py", explicit=True)
+
+    def test_segment_matching_anchors_on_segments(self):
+        policy = Policy(include=("repro/ode",), exclude=())
+        assert policy.in_scope("anywhere/repro/ode/x.py")
+        assert not policy.in_scope("src/repro/odessa/x.py")
+
+
+class TestRulesFor:
+    def test_all_rules_by_default(self):
+        policy = Policy()
+        assert policy.rules_for("src/repro/intervals/a.py", ALL_CODES) == ALL_CODES
+
+    def test_package_disable(self):
+        policy = Policy(package_disable={"repro/verify": ("S005",)})
+        active = policy.rules_for("src/repro/verify/a.py", ALL_CODES)
+        assert "S005" not in active
+        assert "S005" in policy.rules_for("src/repro/ode/a.py", ALL_CODES)
+
+    def test_select_intersects(self):
+        policy = Policy(select=("S001", "S003"))
+        assert policy.rules_for("src/repro/intervals/a.py", ALL_CODES) == (
+            "S001", "S003",
+        )
+
+
+class TestLoadPolicy:
+    def test_missing_file_yields_defaults(self, tmp_path):
+        policy = load_policy(tmp_path / "nope.toml")
+        assert policy.in_scope("src/repro/intervals/a.py")
+
+    def test_table_overrides(self, tmp_path):
+        config = tmp_path / "pyproject.toml"
+        config.write_text(
+            "[tool.repro.soundness]\n"
+            'include = ["repro/ode"]\n'
+            "exclude = []\n"
+            "[tool.repro.soundness.package-rules]\n"
+            '"repro/ode" = { disable = ["s005"] }\n'
+        )
+        policy = load_policy(config)
+        assert policy.in_scope("src/repro/ode/a.py")
+        assert not policy.in_scope("src/repro/intervals/a.py")
+        assert "S005" not in policy.rules_for("src/repro/ode/a.py", ALL_CODES)
+
+    def test_repo_pyproject_matches_defaults(self):
+        # The committed [tool.repro.soundness] table mirrors the built-in
+        # defaults; drift between them would be confusing.
+        assert load_policy("pyproject.toml") == load_policy("/nonexistent.toml")
+
+    def test_malformed_toml_is_check_error(self, tmp_path):
+        config = tmp_path / "pyproject.toml"
+        config.write_text("[tool.repro.soundness\n")
+        with pytest.raises(CheckError):
+            load_policy(config)

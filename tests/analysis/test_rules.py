@@ -1,0 +1,164 @@
+"""Per-rule positive/negative snippets for the soundness linter."""
+
+import textwrap
+
+from repro.analysis import Policy, check_source
+
+# A path inside the default include set so the full rule set runs.
+PATH = "src/repro/intervals/snippet.py"
+
+
+def lint(code, path=PATH, policy=None):
+    findings = check_source(textwrap.dedent(code), path, policy or Policy())
+    return [f.rule for f in findings]
+
+
+class TestS001RawBoundArithmetic:
+    def test_raw_add_on_lo(self):
+        assert "S001" in lint("def f(iv):\n    return iv.lo + 1.0\n")
+
+    def test_raw_sub_on_bound_name(self):
+        assert "S001" in lint("def f(out_hi, x):\n    return out_hi - x\n")
+
+    def test_only_outermost_binop_reported(self):
+        rules = lint("def f(iv):\n    return (iv.lo + 1.0) * (iv.hi - 2.0)\n")
+        assert rules.count("S001") == 1
+
+    def test_inside_rounding_wrapper_is_clean(self):
+        assert lint(
+            "from repro.intervals.rounding import down\n"
+            "def f(iv):\n    return down(iv.lo + 1.0)\n"
+        ) == []
+
+    def test_nested_call_inside_wrapper_is_clean(self):
+        assert lint(
+            "def f(iv, up, down):\n"
+            "    return up(down(iv.lo) + down(iv.hi))\n"
+        ) == []
+
+    def test_raw_np_sum_over_bounds(self):
+        assert "S001" in lint(
+            "import numpy as np\ndef f(box):\n    return np.sum(box.lo)\n"
+        )
+
+    def test_untainted_arithmetic_is_clean(self):
+        assert lint("def f(a, b):\n    return a + b * 2.0\n") == []
+
+
+class TestS002RawTranscendental:
+    def test_math_sin(self):
+        assert "S002" in lint("import math\ndef f(x):\n    return math.sin(x)\n")
+
+    def test_np_exp(self):
+        assert "S002" in lint("import numpy as np\ndef f(x):\n    return np.exp(x)\n")
+
+    def test_bare_import_from_math(self):
+        assert "S002" in lint("from math import cos\ndef f(x):\n    return cos(x)\n")
+
+    def test_exact_functions_allowed(self):
+        assert lint(
+            "import math\ndef f(x):\n    return math.floor(x) + math.copysign(1.0, x)\n"
+        ) == []
+
+    def test_wrapped_in_lib_up_is_clean(self):
+        assert lint(
+            "import math\ndef f(x, lib_up):\n    return lib_up(math.exp(x))\n"
+        ) == []
+
+    def test_method_on_arbitrary_object_allowed(self):
+        # Only math/np namespaces are flagged, not duck-typed .sin().
+        assert lint("def f(jet):\n    return jet.sin()\n") == []
+
+
+class TestS003ExactBoundComparison:
+    def test_eq_on_bounds(self):
+        assert "S003" in lint("def f(iv):\n    return iv.lo == iv.hi\n")
+
+    def test_neq_on_bound_name(self):
+        assert "S003" in lint("def f(lo, x):\n    return lo != x\n")
+
+    def test_comparison_against_zero_allowed(self):
+        assert lint("def f(iv):\n    return iv.lo == 0.0\n") == []
+
+    def test_comparison_against_inf_allowed(self):
+        assert lint(
+            "import math\ndef f(iv):\n    return iv.hi == math.inf\n"
+        ) == []
+
+    def test_ordering_comparisons_allowed(self):
+        assert lint("def f(iv):\n    return iv.lo <= iv.hi\n") == []
+
+    def test_shape_metadata_allowed(self):
+        assert lint("def f(lo, hi):\n    return lo.shape != hi.shape\n") == []
+
+
+class TestS004EndpointMutation:
+    def test_attribute_write(self):
+        assert "S004" in lint("def f(iv):\n    iv.lo = 3.0\n")
+
+    def test_subscript_write(self):
+        assert "S004" in lint("def f(box, i):\n    box.lo[i] = 0.0\n")
+
+    def test_augmented_write(self):
+        assert "S004" in lint("def f(box):\n    box.hi += 1.0\n")
+
+    def test_mutating_method(self):
+        assert "S004" in lint("def f(box):\n    box.lo.fill(0.0)\n")
+
+    def test_constructor_assignment_allowed(self):
+        assert lint(
+            "class Interval:\n"
+            "    def __init__(self, lo, hi):\n"
+            "        self.lo = lo\n"
+            "        self.hi = hi\n"
+        ) == []
+
+    def test_local_write_allowed(self):
+        assert lint("def f():\n    value = 3.0\n    return value\n") == []
+
+
+class TestS005UnguardedDivision:
+    def test_unguarded(self):
+        assert "S005" in lint("def f(x, iv):\n    return x / iv.lo\n")
+
+    def test_zero_check_guards(self):
+        assert "S005" not in lint(
+            "def f(x, iv):\n"
+            "    if iv.lo == 0:\n"
+            "        raise ValueError('zero')\n"
+            "    return x / iv.lo\n"
+        )
+
+    def test_raise_zero_division_guards(self):
+        assert "S005" not in lint(
+            "def f(x, o):\n"
+            "    if o.contains_zero():\n"
+            "        raise ZeroDivisionError(o)\n"
+            "    return x / o.lo\n"
+        )
+
+    def test_untainted_divisor_allowed(self):
+        assert "S005" not in lint("def f(x, n):\n    return x / n\n")
+
+
+class TestScope:
+    def test_out_of_scope_package_skipped(self):
+        assert lint("def f(iv):\n    return iv.lo + 1.0\n", path="src/repro/nn/a.py") == []
+
+    def test_rounding_module_excluded(self):
+        assert lint(
+            "def f(lo):\n    return lo + 1.0\n",
+            path="src/repro/intervals/rounding.py",
+        ) == []
+
+    def test_package_disable(self):
+        policy = Policy(package_disable={"repro/intervals": ("S001",)})
+        assert lint("def f(iv):\n    return iv.lo + 1.0\n", policy=policy) == []
+
+    def test_select_filters(self):
+        policy = Policy(select=("S003",))
+        rules = lint(
+            "def f(iv):\n    iv.lo = iv.lo + 1.0\n    return iv.lo == iv.hi\n",
+            policy=policy,
+        )
+        assert rules == ["S003"]

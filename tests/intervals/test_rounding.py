@@ -63,3 +63,53 @@ class TestArrayRounding:
         arr = np.array(values)
         assert np.array_equal(array_down(arr), [down(v) for v in values])
         assert np.array_equal(array_up(arr), [up(v) for v in values])
+
+
+class TestEdgeCases:
+    """±inf / NaN / subnormal edges of the directed-rounding contract."""
+
+    @given(finite)
+    def test_strict_enclosure_property(self, x):
+        # The linchpin invariant the soundness linter exists to protect.
+        assert down(x) < x < up(x) or math.isinf(x)
+
+    def test_nan_propagates(self):
+        assert math.isnan(down(math.nan))
+        assert math.isnan(up(math.nan))
+        assert np.all(np.isnan(array_down(np.array([math.nan]))))
+        assert np.all(np.isnan(array_up(np.array([math.nan]))))
+
+    def test_infinity_identities(self):
+        # down is the identity on -inf, up on +inf (no escape outward).
+        assert down(-math.inf) == -math.inf
+        assert up(math.inf) == math.inf
+        # The opposite directions step to the extreme finite float.
+        assert down(math.inf) == math.inf or math.isfinite(down(math.inf))
+        assert up(-math.inf) == -math.inf or math.isfinite(up(-math.inf))
+
+    def test_array_matches_scalar_at_infinities(self):
+        values = [math.inf, -math.inf]
+        arr = np.array(values)
+        assert list(array_down(arr)) == [down(v) for v in values]
+        assert list(array_up(arr)) == [up(v) for v in values]
+
+    def test_zero_crossing(self):
+        # Stepping down from +0.0 lands strictly below zero (subnormal).
+        assert down(0.0) < 0.0
+        assert up(0.0) > 0.0
+        assert down(0.0) == -up(0.0)
+
+    @given(finite, st.integers(min_value=0, max_value=8))
+    def test_ulp_stepping_is_monotone_in_n(self, x, n):
+        assert down_ulps(x, n + 1) <= down_ulps(x, n)
+        assert up_ulps(x, n + 1) >= up_ulps(x, n)
+
+    @given(st.lists(finite, min_size=1, max_size=10))
+    def test_upward_accumulation_dominates(self, values):
+        # Accumulating with up() after each add can never fall below the
+        # nearest-mode running sum (the affine err-radius pattern).
+        total_rn, total_up = 0.0, 0.0
+        for v in map(abs, values):
+            total_rn = total_rn + v
+            total_up = up(total_up + v)
+        assert total_up >= total_rn or math.isnan(total_rn)
