@@ -170,6 +170,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
             ),
             refinement=RefinementPolicy(dims=(0, 1, 2), max_depth=args.depth),
             workers=args.workers,
+            cell_timeout=args.cell_timeout,
+            deadline=args.deadline,
+            max_retries=args.max_retries,
         ),
     )
 
@@ -181,10 +184,19 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     cell_hist = recorder.metrics.histograms.get("cell.seconds")
     print("\nrun summary:")
-    print(
+    verdict_line = (
         f"  cells: {progress.proved} proved, {progress.unproved} unproved, "
-        f"{progress.witnessed} witnessed (of {report.total_cells})"
+        f"{progress.witnessed} witnessed"
     )
+    if progress.aborted:
+        verdict_line += f", {progress.aborted} aborted"
+    if progress.timed_out:
+        verdict_line += f", {progress.timed_out} timed-out"
+    print(f"{verdict_line} (of {report.total_cells})")
+    interrupted = report.settings_summary.get("interrupted")
+    if interrupted:
+        print(f"  INTERRUPTED ({interrupted}): partial report — "
+              "finished cells only")
     print(f"  wall time: {wall:.2f}s ({args.workers} workers)")
     if cell_hist is not None and cell_hist.count:
         print(
@@ -208,6 +220,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
             "substeps": args.substeps,
             "gamma": args.gamma,
             "workers": args.workers,
+            "cell_timeout": args.cell_timeout,
+            "deadline": args.deadline,
+            "max_retries": args.max_retries,
         },
         wall_seconds=wall,
         extra={
@@ -651,6 +666,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--substeps", type=int, default=10, help="the paper's M")
     p_verify.add_argument("--gamma", type=int, default=5, help="the paper's Gamma")
     p_verify.add_argument("--workers", type=int, default=1)
+    p_verify.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock budget; overruns quarantine as timed-out",
+    )
+    p_verify.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="campaign wall-clock budget; stop dispatching once exceeded "
+        "and return a partial report",
+    )
+    p_verify.add_argument(
+        "--max-retries", type=int, default=1,
+        help="retries for a cell whose worker crashed before it is "
+        "quarantined as aborted",
+    )
     p_verify.add_argument("--out", help="write the JSON report here")
     _add_obs_arguments(p_verify)
     p_verify.set_defaults(fn=cmd_verify)

@@ -16,6 +16,15 @@ from .reach import (
 )
 from .result import CellResult, VerificationReport
 from .runner import RunnerSettings, verify_cell, verify_partition
+from .supervisor import (
+    BudgetExceeded,
+    ShutdownFlag,
+    SupervisorOutcome,
+    budget_guard,
+    run_cell_guarded,
+    run_supervised,
+    trap_shutdown_signals,
+)
 from .symbolic import SymbolicSet, SymbolicState, resize
 from .system import (
     ArgmaxPost,
@@ -31,6 +40,7 @@ from .system import (
 __all__ = [
     "ArgmaxPost",
     "ArgminPost",
+    "BudgetExceeded",
     "CellResult",
     "ClosedLoopSystem",
     "CommandSet",
@@ -44,7 +54,9 @@ __all__ = [
     "RefinementPolicy",
     "RunnerSettings",
     "RuntimeMonitor",
+    "ShutdownFlag",
     "StateView",
+    "SupervisorOutcome",
     "SwitchingController",
     "SynchronousProductController",
     "SymbolicSet",
@@ -52,11 +64,15 @@ __all__ = [
     "TubeSegment",
     "Verdict",
     "VerificationReport",
+    "budget_guard",
     "grid_partition",
     "load_journal",
     "reach",
     "reach_from_box",
     "resize",
+    "run_cell_guarded",
+    "run_supervised",
+    "trap_shutdown_signals",
     "verify_cell",
     "verify_partition",
     "verify_partition_checkpointed",

@@ -2,10 +2,20 @@
 
 The paper's full experiment ran for ~12 days; any run at that scale
 needs to survive interruption. :func:`verify_partition_checkpointed`
-wraps :func:`~repro.core.runner.verify_partition` with an append-only
-JSON-lines journal: each finished cell is written immediately, and a
-restart skips every cell already journaled (validated against the cell
-geometry, so a changed partition invalidates stale entries).
+wraps the partition drivers with an append-only JSON-lines journal:
+each finished cell is written immediately, and a restart skips every
+cell already journaled (validated against the cell geometry, so a
+changed partition invalidates stale entries).
+
+The execution layer is the same fault-tolerant machinery as
+:func:`~repro.core.runner.verify_partition`: with ``workers > 1`` the
+uncached cells run on the supervised pool
+(:func:`~repro.core.supervisor.run_supervised`), so worker crashes,
+per-cell budgets, the campaign deadline and SIGINT/SIGTERM draining
+all compose with resumability. Quarantined cells (``ABORTED`` /
+``TIMED_OUT``) are deliberately *not* journaled: a restarted campaign
+retries them instead of trusting a verdict that only says "something
+went wrong last time".
 """
 
 from __future__ import annotations
@@ -17,12 +27,17 @@ import time
 from pathlib import Path
 from typing import Callable, Sequence
 
-import numpy as np
-
 from ..intervals import Box
 from ..obs import get_recorder
+from ..testing.faults import get_fault_injector
 from .result import CellResult, VerificationReport
-from .runner import RunnerSettings, verify_cell
+from .runner import RunnerSettings, _notify_progress, _settings_summary
+from .supervisor import (
+    merge_worker_traces,
+    run_cell_guarded,
+    run_supervised,
+    trap_shutdown_signals,
+)
 
 logger = logging.getLogger("repro.core.checkpoint")
 
@@ -74,6 +89,48 @@ def load_journal(path: str | Path) -> dict[str, CellResult]:
     return finished
 
 
+class _JournalWriter:
+    """Appends finished cells to the journal as they arrive.
+
+    Quarantined results are skipped (see module docs). The torn-write
+    fault (``torn-journal`` in :mod:`repro.testing.faults`) truncates an
+    append mid-line with no trailing newline, mimicking a power loss;
+    the next append then starts on a fresh line, as a restarted
+    process's first append would.
+    """
+
+    def __init__(self, handle, fsync: bool):
+        self.handle = handle
+        self.fsync = fsync
+        self._torn_pending = False
+
+    def append(self, key: str, result: CellResult) -> None:
+        rec = get_recorder()
+        if result.quarantined:
+            # Not a verdict worth remembering: the next run retries it.
+            rec.inc("checkpoint.cells_quarantined")
+            rec.event(
+                "checkpoint.cell_quarantined",
+                cell_id=result.cell_id,
+                verdict=result.verdict.value,
+            )
+            return
+        line = json.dumps({"key": key, "result": result.to_dict()})
+        injector = get_fault_injector()
+        torn = False
+        if injector is not None:
+            line, torn = injector.tear_journal_line(line)
+        if self._torn_pending:
+            self.handle.write("\n")
+            self._torn_pending = False
+        self.handle.write(line if torn else line + "\n")
+        self._torn_pending = torn
+        self.handle.flush()
+        if self.fsync:
+            os.fsync(self.handle.fileno())
+        rec.inc("checkpoint.cells_verified")
+
+
 def verify_partition_checkpointed(
     system_factory: Callable[[], object],
     cells: Sequence[tuple],
@@ -85,9 +142,13 @@ def verify_partition_checkpointed(
     """Like :func:`~repro.core.runner.verify_partition`, resumable.
 
     Cells found in the journal are reused verbatim; the rest are
-    verified (serially — the journal is the source of truth, and cell
-    results are appended as soon as they finish) and journaled. The
-    returned report always covers every requested cell, in order.
+    verified — serially or on the supervised pool, per
+    ``settings.workers`` — and journaled as soon as they finish.
+    Quarantined cells are excluded from the journal so a restart
+    retries them. After an interruption (deadline or SIGINT/SIGTERM)
+    the report covers only the finished cells and
+    ``settings_summary["interrupted"]`` names the reason; otherwise the
+    report covers every requested cell, in partition order.
 
     With ``fsync=True`` every appended entry is fsync'd to stable
     storage before the next cell starts — slower, but a power loss can
@@ -104,49 +165,96 @@ def verify_partition_checkpointed(
             "journal.resume", path=str(journal_path), finished_cells=len(finished)
         )
 
-    system = None
+    keys: list[str] = []
+    parsed: list[tuple[Box, int, dict]] = []
+    for cell in cells:
+        box, command = cell[0], cell[1]
+        tags = dict(cell[2]) if len(cell) > 2 else {}
+        parsed.append((box, command, tags))
+        keys.append(_cell_key(box, command))
+
+    total = len(parsed)
+    done = 0
     skipped = 0
-    results: list[CellResult] = []
-    with open(journal_path, "a") as journal:
-        for i, cell in enumerate(cells):
-            box, command = cell[0], cell[1]
-            tags = dict(cell[2]) if len(cell) > 2 else {}
-            key = _cell_key(box, command)
-            cached = finished.get(key)
-            if cached is not None:
-                cached.tags.update(tags)
-                results.append(cached)
-                skipped += 1
-                rec.inc("checkpoint.cells_skipped")
-            else:
-                if system is None:
-                    system = system_factory()
-                result = verify_cell(system, box, command, settings, f"cell-{i}")
-                result.tags.update(tags)
-                journal.write(
-                    json.dumps({"key": key, "result": result.to_dict()}) + "\n"
+    interrupted: str | None = None
+    results: dict[int, CellResult] = {}
+
+    def notify(result: CellResult) -> None:
+        nonlocal done
+        done += 1
+        _notify_progress(progress, done, total, result)
+
+    remaining: list[int] = []
+    for i, (box, command, tags) in enumerate(parsed):
+        cached = finished.get(keys[i])
+        if cached is not None:
+            cached.tags.update(tags)
+            results[i] = cached
+            skipped += 1
+            rec.inc("checkpoint.cells_skipped")
+            notify(cached)
+        else:
+            remaining.append(i)
+
+    with open(journal_path, "a") as handle:
+        journal = _JournalWriter(handle, fsync)
+        if remaining and settings.workers == 1:
+            system = system_factory()
+            with trap_shutdown_signals() as stop:
+                deadline_at = (
+                    time.monotonic() + settings.deadline if settings.deadline else None
                 )
-                journal.flush()
-                if fsync:
-                    os.fsync(journal.fileno())
-                results.append(result)
-                rec.inc("checkpoint.cells_verified")
-            if progress is not None:
-                if hasattr(progress, "update"):
-                    progress.update(i + 1, len(cells), results[-1])
-                else:
-                    progress(i + 1, len(cells))
+                for n, i in enumerate(remaining):
+                    if stop.requested:
+                        interrupted = stop.reason
+                    elif deadline_at is not None and time.monotonic() >= deadline_at:
+                        interrupted = "deadline"
+                    if interrupted:
+                        rec.event(
+                            "campaign.interrupted",
+                            reason=interrupted,
+                            dropped_cells=len(remaining) - n,
+                        )
+                        logger.warning(
+                            "campaign interrupted (%s): %d cells not run",
+                            interrupted, len(remaining) - n,
+                        )
+                        break
+                    box, command, tags = parsed[i]
+                    result = run_cell_guarded(
+                        system, box, command, settings, f"cell-{i}"
+                    )
+                    result.tags.update(tags)
+                    journal.append(keys[i], result)
+                    results[i] = result
+                    notify(result)
+        elif remaining:
+            sub_tasks = [
+                (f"cell-{i}", parsed[i][0], parsed[i][1], parsed[i][2])
+                for i in remaining
+            ]
+
+            def on_result(seq: int, result: CellResult) -> None:
+                i = remaining[seq]
+                journal.append(keys[i], result)
+                results[i] = result
+                notify(result)
+
+            outcome = run_supervised(
+                system_factory, sub_tasks, settings, on_result=on_result
+            )
+            interrupted = outcome.interrupted
+            merge_worker_traces(rec)
+
     if skipped:
         logger.info(
-            "resumed from %s: %d/%d cells skipped", journal_path, skipped, len(cells)
+            "resumed from %s: %d/%d cells skipped", journal_path, skipped, total
         )
 
-    report = VerificationReport(cells=results)
+    report = VerificationReport(cells=[results[i] for i in sorted(results)])
     report.wall_seconds = time.perf_counter() - run_started
-    report.settings_summary = {
-        "substeps": settings.reach.substeps,
-        "max_symbolic_states": settings.reach.max_symbolic_states,
-        "refinement_depth": settings.refinement.max_depth if settings.refinement else 0,
-        "journal": str(journal_path),
-    }
+    report.settings_summary = _settings_summary(settings, interrupted)
+    report.settings_summary["journal"] = str(journal_path)
+    if rec.enabled:
+        report.metrics = rec.metrics.snapshot()
     return report

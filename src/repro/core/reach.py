@@ -42,6 +42,14 @@ class Verdict(enum.Enum):
     #: Some over-approximate state meets E: the proof attempt fails
     #: (the system may still be safe — the approximation was too loose).
     POSSIBLY_UNSAFE = "possibly-unsafe"
+    #: Quarantine verdicts assigned by the campaign runner, never by
+    #: the reachability procedure itself: the cell's verification did
+    #: not complete. Both count as unproved for coverage; the failure
+    #: reason rides in ``CellResult.tags["failure"]``.
+    #: The worker crashed (repeatedly) or the procedure raised.
+    ABORTED = "aborted"
+    #: The cell exceeded its wall-clock budget and was cut off.
+    TIMED_OUT = "timed-out"
 
 
 @dataclass(frozen=True)

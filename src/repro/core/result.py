@@ -34,6 +34,9 @@ class CellResult:
     steps_completed: int = 0
     joins_performed: int = 0
     integrations: int = 0
+    #: How many times this cell was dispatched (0 = untracked/legacy;
+    #: >1 means the supervised runner retried it after worker crashes).
+    attempts: int = 0
     children: list["CellResult"] = field(default_factory=list)
     #: Free-form labels (e.g. the arc index of the ACAS partition).
     tags: dict = field(default_factory=dict)
@@ -41,6 +44,13 @@ class CellResult:
     @property
     def proved(self) -> bool:
         return self.verdict is Verdict.PROVED_SAFE
+
+    @property
+    def quarantined(self) -> bool:
+        """The verification never completed: the supervised runner
+        substituted an ``ABORTED`` (crash/exception) or ``TIMED_OUT``
+        (budget) verdict. ``tags["failure"]`` carries the reason."""
+        return self.verdict in (Verdict.ABORTED, Verdict.TIMED_OUT)
 
     def coverage_fraction(self) -> float:
         """Fraction of this cell's volume proved safe, per the paper's
@@ -86,6 +96,7 @@ class CellResult:
             "steps_completed": self.steps_completed,
             "joins_performed": self.joins_performed,
             "integrations": self.integrations,
+            "attempts": self.attempts,
             "tags": self.tags,
             "children": [c.to_dict() for c in self.children],
         }
@@ -102,6 +113,7 @@ class CellResult:
             steps_completed=payload["steps_completed"],
             joins_performed=payload.get("joins_performed", 0),
             integrations=payload.get("integrations", 0),
+            attempts=payload.get("attempts", 0),
             tags=payload.get("tags", {}),
             children=[CellResult.from_dict(c) for c in payload.get("children", [])],
         )
@@ -139,16 +151,40 @@ class VerificationReport:
         semantics as :class:`repro.obs.CampaignProgress`: a cell is
         *proved* when its whole volume is covered, *witnessed* when a
         concrete counterexample was recorded anywhere in its refinement
-        tree, otherwise *unproved*. Feeds the run ledger."""
-        counts = {"proved": 0, "unproved": 0, "witnessed": 0, "total": len(self.cells)}
+        tree, *aborted*/*timed-out* when the supervised runner
+        quarantined it (crash / wall-clock budget), otherwise
+        *unproved*. Feeds the run ledger."""
+        counts = {
+            "proved": 0,
+            "unproved": 0,
+            "witnessed": 0,
+            "aborted": 0,
+            "timed-out": 0,
+            "total": len(self.cells),
+        }
         for cell in self.cells:
+            leaves = cell.leaves()
             if cell.coverage_fraction() >= 1.0:
                 counts["proved"] += 1
-            elif any("witness" in leaf.tags for leaf in cell.leaves()):
+            elif any("witness" in leaf.tags for leaf in leaves):
                 counts["witnessed"] += 1
+            elif any(leaf.verdict is Verdict.ABORTED for leaf in leaves):
+                counts["aborted"] += 1
+            elif any(leaf.verdict is Verdict.TIMED_OUT for leaf in leaves):
+                counts["timed-out"] += 1
             else:
                 counts["unproved"] += 1
         return counts
+
+    def quarantined_cells(self) -> list[CellResult]:
+        """Cells whose verification never completed (``ABORTED`` /
+        ``TIMED_OUT`` anywhere in their tree) — the rerun worklist
+        after a faulty campaign."""
+        return [
+            cell
+            for cell in self.cells
+            if any(leaf.quarantined for leaf in cell.leaves())
+        ]
 
     def proved_count_by_depth(self) -> dict[int, int]:
         """``n_d`` aggregated over all cells."""

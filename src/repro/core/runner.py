@@ -2,27 +2,41 @@
 
 The paper observes that the ``K0`` initial cells are independent
 verification problems, so the partition is embarrassingly parallel.
-:func:`verify_partition` distributes cells over worker processes
-(fork-based, so the closed-loop system object does not need to be
-picklable) and applies split refinement to cells that fail.
+:func:`verify_partition` distributes cells over a *supervised* worker
+pool (:mod:`repro.core.supervisor` — fork-based, so the closed-loop
+system object does not need to be picklable) and applies split
+refinement to cells that fail. The execution layer is fault-tolerant:
+worker crashes are retried and then quarantined as ``ABORTED``, cells
+exceeding their wall-clock budget become ``TIMED_OUT``, a campaign
+deadline or SIGINT/SIGTERM drains in-flight cells and returns a
+partial report.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import logging
 import time
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from ..intervals import Box
-from ..obs import Recorder, get_recorder, merge_traces, set_recorder, worker_trace_path
+from ..obs import get_recorder
 from .partition import RefinementPolicy
 from .reach import ReachSettings, Verdict, reach_from_box
 from .result import CellResult, VerificationReport
+from .supervisor import (
+    BudgetExceeded,
+    budget_guard,
+    merge_worker_traces,
+    run_cell_guarded,
+    run_supervised,
+    trap_shutdown_signals,
+)
 from .system import ClosedLoopSystem
+
+logger = logging.getLogger("repro.core.runner")
 
 #: Optional counterexample search invoked on failed cells before
 #: refinement: (system, box, command) -> concrete unsafe initial state,
@@ -34,16 +48,46 @@ WitnessSearch = Callable[[ClosedLoopSystem, Box, int], Optional[np.ndarray]]
 
 @dataclass(frozen=True)
 class RunnerSettings:
-    """Per-cell reachability settings plus the refinement policy."""
+    """Per-cell reachability settings, the refinement policy, and the
+    fault-tolerance budgets enforced by the supervised runner."""
 
     reach: ReachSettings = field(default_factory=ReachSettings)
     refinement: RefinementPolicy | None = None
     workers: int = 1
     witness_search: WitnessSearch | None = None
+    #: Wall-clock budget per top-level cell in seconds, refinement
+    #: included (None = unbounded). Enforced in-process via SIGALRM and,
+    #: for workers hung in native code, by a supervisor kill; either way
+    #: the cell degrades to ``Verdict.TIMED_OUT``.
+    cell_timeout: float | None = None
+    #: Campaign wall-clock budget in seconds (None = unbounded). Once
+    #: exceeded, no further cells are dispatched; in-flight cells drain
+    #: and the report is partial.
+    deadline: float | None = None
+    #: How many times a cell whose worker died is retried (on a fresh
+    #: worker, with exponential backoff) before being quarantined as
+    #: ``Verdict.ABORTED``.
+    max_retries: int = 1
+    #: Base of the exponential retry backoff, in seconds.
+    retry_backoff: float = 0.25
+    #: Wall-clock budget for the ``witness_search`` hook per cell
+    #: (None = unbounded); a timed-out search counts as "no witness
+    #: found" and refinement proceeds.
+    witness_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive (or None)")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.witness_timeout is not None and self.witness_timeout <= 0:
+            raise ValueError("witness_timeout must be positive (or None)")
 
 
 def verify_cell(
@@ -78,8 +122,23 @@ def verify_cell(
     )
     rec.inc(f"runner.verdict.{outcome.verdict.value}")
     if result.verdict is not Verdict.PROVED_SAFE and settings.witness_search:
-        with rec.span("witness_search", cell_id=cell_id):
-            witness = settings.witness_search(system, box, command)
+        witness = None
+        try:
+            with budget_guard(settings.witness_timeout, scope="witness"):
+                with rec.span("witness_search", cell_id=cell_id):
+                    witness = settings.witness_search(system, box, command)
+        except BudgetExceeded as exc:
+            if exc.scope != "witness":
+                raise
+            # A stuck falsifier must not stall the cell: treat it as
+            # "no witness found" and fall through to refinement.
+            result.tags["witness_timeout"] = exc.seconds
+            rec.inc("runner.witness_timeouts")
+            rec.event("runner.witness_timeout", cell_id=cell_id, budget_seconds=exc.seconds)
+            logger.warning(
+                "witness search on %s exceeded its %.3gs budget; refining instead",
+                cell_id, exc.seconds,
+            )
         if witness is not None:
             # A concrete counterexample: the cell is genuinely unsafe,
             # so split refinement cannot rescue it — skip it (the
@@ -113,59 +172,45 @@ def verify_cell(
 # ----------------------------------------------------------------------
 # Parallel driver
 # ----------------------------------------------------------------------
-_WORKER_SYSTEM: ClosedLoopSystem | None = None
-_WORKER_SETTINGS: RunnerSettings | None = None
-
-
-def _init_worker(
-    system_factory: Callable[[], ClosedLoopSystem],
-    settings: RunnerSettings,
-    parent_trace: str | None,
-    observe: bool,
-) -> None:
-    global _WORKER_SYSTEM, _WORKER_SETTINGS
-    # The forked child inherits the parent's recorder object (and its
-    # open trace file descriptor, which must not be shared): install a
-    # fresh per-worker recorder writing to its own JSONL file. The
-    # parent merges the worker files and per-cell metric deltas back.
-    if observe:
-        trace = (
-            worker_trace_path(Path(parent_trace)) if parent_trace is not None else None
-        )
-        set_recorder(Recorder(trace_path=trace))
-        get_recorder().event("worker.start", pid=multiprocessing.current_process().pid)
-    else:
-        set_recorder(None)
-    _WORKER_SYSTEM = system_factory()
-    _WORKER_SETTINGS = settings
-
-
-def _run_cell(task: tuple[str, Box, int, dict]) -> tuple[CellResult, dict | None]:
-    cell_id, box, command, tags = task
-    assert _WORKER_SYSTEM is not None and _WORKER_SETTINGS is not None
-    result = verify_cell(_WORKER_SYSTEM, box, command, _WORKER_SETTINGS, cell_id)
-    result.tags.update(tags)
-    rec = get_recorder()
-    if rec.enabled:
-        rec.flush()
-        # Ship the metrics gathered since the last cell back to the
-        # parent; draining keeps deltas disjoint, so the parent can
-        # simply fold every payload into its registry.
-        return result, rec.metrics.drain()
-    return result, None
-
-
 def _notify_progress(progress, done: int, total: int, result: CellResult) -> None:
     """Feed either callback style: rich (``update(done, total, result)``,
     e.g. :class:`repro.obs.CampaignProgress`) or the legacy bare
-    ``(done, total)`` callable."""
+    ``(done, total)`` callable.
+
+    A raising callback is *logged and counted*, never propagated: a
+    broken progress bar must not abort a multi-day campaign.
+    """
     if progress is None:
         return
-    update = getattr(progress, "update", None)
-    if update is not None:
-        update(done, total, result)
-    else:
-        progress(done, total)
+    try:
+        update = getattr(progress, "update", None)
+        if update is not None:
+            update(done, total, result)
+        else:
+            progress(done, total)
+    except Exception as exc:
+        rec = get_recorder()
+        rec.inc("runner.progress_errors")
+        rec.event("runner.progress_error", error=type(exc).__name__, done=done)
+        logger.warning(
+            "progress callback raised %s: %s (campaign continues)",
+            type(exc).__name__, exc,
+        )
+
+
+def _settings_summary(settings: RunnerSettings, interrupted: str | None) -> dict:
+    summary = {
+        "substeps": settings.reach.substeps,
+        "max_symbolic_states": settings.reach.max_symbolic_states,
+        "refinement_depth": settings.refinement.max_depth if settings.refinement else 0,
+        "workers": settings.workers,
+        "cell_timeout": settings.cell_timeout,
+        "deadline": settings.deadline,
+        "max_retries": settings.max_retries,
+    }
+    if interrupted:
+        summary["interrupted"] = interrupted
+    return summary
 
 
 def verify_partition(
@@ -179,11 +224,19 @@ def verify_partition(
     ``cells`` is a sequence of ``(box, command)`` or
     ``(box, command, tags)`` tuples. ``system_factory`` builds the
     closed-loop system — called once in serial mode, once per worker in
-    parallel mode (fork start method, so closures are fine).
+    parallel mode (fork start method, so closures are fine). A worker
+    whose factory call raises surfaces as a ``RuntimeError`` naming the
+    worker and the underlying error.
 
     ``progress`` is either a bare ``(done, total)`` callable or a rich
     observer with an ``update(done, total, result)`` method (see
     :class:`repro.obs.CampaignProgress` for rate/ETA/verdict counts).
+
+    With ``settings.workers > 1`` the cells run on the supervised pool
+    (:func:`repro.core.supervisor.run_supervised`): crashes retry then
+    quarantine as ``ABORTED``, budget overruns become ``TIMED_OUT``,
+    and a deadline or SIGINT/SIGTERM yields a partial report
+    (``settings_summary["interrupted"]`` names the reason).
 
     When a live :class:`repro.obs.Recorder` is installed, workers
     stream spans to per-worker JSONL files (merged into the parent's
@@ -199,49 +252,51 @@ def verify_partition(
         tasks.append((f"cell-{i}", box, command, tags))
 
     rec = get_recorder()
+    interrupted: str | None = None
     results: list[CellResult]
     if settings.workers == 1:
         system = system_factory()
         results = []
-        for i, (cell_id, box, command, tags) in enumerate(tasks):
-            result = verify_cell(system, box, command, settings, cell_id)
-            result.tags.update(tags)
-            results.append(result)
-            _notify_progress(progress, i + 1, len(tasks), result)
-    else:
-        parent_trace = str(rec.trace_path) if getattr(rec, "trace_path", None) else None
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(
-            processes=settings.workers,
-            initializer=_init_worker,
-            initargs=(system_factory, settings, parent_trace, rec.enabled),
-        ) as pool:
-            results = []
-            for i, (result, metrics_delta) in enumerate(pool.imap(_run_cell, tasks)):
-                if metrics_delta and rec.enabled:
-                    rec.metrics.merge_snapshot(metrics_delta)
+        with trap_shutdown_signals() as stop:
+            deadline_at = (
+                time.monotonic() + settings.deadline if settings.deadline else None
+            )
+            for i, (cell_id, box, command, tags) in enumerate(tasks):
+                if stop.requested:
+                    interrupted = stop.reason
+                elif deadline_at is not None and time.monotonic() >= deadline_at:
+                    interrupted = "deadline"
+                if interrupted:
+                    rec.event(
+                        "campaign.interrupted",
+                        reason=interrupted,
+                        dropped_cells=len(tasks) - i,
+                    )
+                    logger.warning(
+                        "campaign interrupted (%s): %d cells not run",
+                        interrupted, len(tasks) - i,
+                    )
+                    break
+                result = run_cell_guarded(system, box, command, settings, cell_id)
+                result.tags.update(tags)
                 results.append(result)
                 _notify_progress(progress, i + 1, len(tasks), result)
-        if rec.enabled and parent_trace is not None:
-            # Fold the per-worker trace files into the parent trace,
-            # globally ordered by timestamp.
-            rec.flush()
-            parent_path = Path(parent_trace)
-            worker_files = sorted(
-                parent_path.parent.glob(f"{parent_path.stem}.worker-*.jsonl")
-            )
-            merged = merge_traces(parent_path, worker_files, delete_sources=True)
-            rec.event("trace.merged", workers=len(worker_files), events=merged)
-            rec.flush()
+    else:
+        done = 0
+
+        def on_result(seq: int, result: CellResult) -> None:
+            nonlocal done
+            done += 1
+            _notify_progress(progress, done, len(tasks), result)
+
+        outcome = run_supervised(system_factory, tasks, settings, on_result=on_result)
+        interrupted = outcome.interrupted
+        results = [outcome.results[i] for i in sorted(outcome.results)]
+        merge_worker_traces(rec)
 
     report = VerificationReport(cells=results)
     report.wall_seconds = time.perf_counter() - run_started
-    report.settings_summary = {
-        "substeps": settings.reach.substeps,
-        "max_symbolic_states": settings.reach.max_symbolic_states,
-        "refinement_depth": settings.refinement.max_depth if settings.refinement else 0,
-        "workers": settings.workers,
-    }
+    report.settings_summary = _settings_summary(settings, interrupted)
     if rec.enabled:
         report.metrics = rec.metrics.snapshot()
     return report

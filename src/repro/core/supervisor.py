@@ -1,0 +1,700 @@
+"""Fault-tolerant campaign execution: the supervised worker pool.
+
+The paper's full evaluation ran for ~12 days (Section 7); at that
+scale the execution layer — not the mathematics — is what loses
+campaigns. The previous driver was a bare ``Pool.imap``: one worker
+OOM-kill or segfault raised out of the pool and discarded everything,
+and a runaway cell (stiff dynamics, deep refinement) could hang the
+campaign forever. This module replaces it with a supervised pool built
+on one duplex pipe per worker:
+
+* **Dead-worker detection and respawn** — a worker that exits (crash,
+  OOM-kill, segfault) is detected via pipe EOF / ``exitcode``; its
+  in-flight cell is retried on a fresh worker up to
+  ``RunnerSettings.max_retries`` times with exponential backoff, then
+  quarantined as :data:`~repro.core.reach.Verdict.ABORTED` with the
+  failure reason in ``tags["failure"]``.
+* **Per-cell wall-clock budgets** — ``RunnerSettings.cell_timeout`` is
+  enforced twice: inside the worker by a ``SIGALRM``-based
+  :func:`budget_guard` (clean ``TIMED_OUT`` result), and externally by
+  the supervisor, which kills workers stuck past a grace margin (hangs
+  in native code are immune to ``SIGALRM``).
+* **Campaign deadline** — ``RunnerSettings.deadline`` stops
+  dispatching once exceeded; in-flight cells drain and the caller gets
+  a partial report.
+* **Graceful shutdown** — SIGINT/SIGTERM stop dispatching, drain
+  in-flight cells (a second signal aborts the drain), flush traces,
+  and return the partial results so journals and ledgers stay intact.
+
+Cells must degrade to an explicit quarantine verdict; they must never
+take the process down. The recovery paths are exercised
+deterministically by :mod:`repro.testing.faults`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+from ..obs import Recorder, get_recorder, merge_traces, set_recorder, worker_trace_path
+from ..testing.faults import get_fault_injector
+from .reach import Verdict
+from .result import CellResult
+
+logger = logging.getLogger("repro.core.supervisor")
+
+#: A dispatchable unit: (cell_id, box, command, tags).
+Task = tuple
+
+#: Supervisor poll tick (seconds): the upper bound on how stale the
+#: liveness / deadline bookkeeping can get.
+_TICK = 0.1
+
+#: Extra wall-clock slack past ``cell_timeout`` before the supervisor
+#: kills a worker: the in-worker guard should fire first; the external
+#: kill is the backstop for hangs in native code.
+_KILL_GRACE_MIN = 1.0
+_KILL_GRACE_FRACTION = 0.5
+
+
+# ----------------------------------------------------------------------
+# In-process budget machinery (SIGALRM-based, scope-labelled)
+# ----------------------------------------------------------------------
+class BudgetExceeded(Exception):
+    """A wall-clock budget installed by :func:`budget_guard` expired.
+
+    ``scope`` identifies which guard fired (guards nest: the witness
+    budget runs inside the cell budget), so handlers can catch their
+    own scope and re-raise the rest.
+    """
+
+    def __init__(self, scope: str, seconds: float):
+        super().__init__(f"{scope} wall-clock budget of {seconds:g}s exceeded")
+        self.scope = scope
+        self.seconds = seconds
+
+
+#: Active guards in this process: (absolute monotonic deadline, scope,
+#: budget seconds). SIGALRM is armed for the earliest deadline.
+_GUARDS: list[tuple[float, str, float]] = []
+
+
+def _arm_earliest() -> None:
+    if not _GUARDS:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        return
+    delay = max(1e-4, min(g[0] for g in _GUARDS) - time.monotonic())
+    signal.setitimer(signal.ITIMER_REAL, delay)
+
+
+def _on_alarm(signum, frame) -> None:
+    now = time.monotonic()
+    due = [g for g in _GUARDS if g[0] <= now + 1e-3]
+    if not due:
+        # Spurious/early wakeup: re-arm and keep going.
+        _arm_earliest()
+        return
+    deadline, scope, seconds = min(due)
+    raise BudgetExceeded(scope, seconds)
+
+
+def _can_guard() -> bool:
+    return (
+        hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def budget_guard(seconds: float | None, scope: str = "budget") -> Iterator[None]:
+    """Raise :class:`BudgetExceeded` from this block after ``seconds``.
+
+    No-op when ``seconds`` is ``None``/non-positive, off the main
+    thread, or on platforms without ``setitimer`` — budgets are a
+    best-effort safety net, not a scheduling primitive. Guards nest;
+    the earliest deadline fires first and carries its own scope.
+    """
+    if not seconds or seconds <= 0 or not _can_guard():
+        yield
+        return
+    entry = (time.monotonic() + float(seconds), scope, float(seconds))
+    outermost = not _GUARDS
+    if outermost:
+        previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    _GUARDS.append(entry)
+    _arm_earliest()
+    try:
+        yield
+    finally:
+        _GUARDS.remove(entry)
+        _arm_earliest()
+        if outermost:
+            signal.signal(signal.SIGALRM, previous_handler)
+
+
+# ----------------------------------------------------------------------
+# Quarantine: every cell produces a result, whatever happens
+# ----------------------------------------------------------------------
+def quarantine_result(
+    cell_id: str,
+    box,
+    command: int,
+    verdict: Verdict,
+    reason: dict,
+    elapsed_seconds: float = 0.0,
+    attempts: int = 1,
+) -> CellResult:
+    """A :class:`CellResult` standing in for a cell whose verification
+    never completed (crash, timeout, exception). Counts as unproved for
+    coverage; the failure detail rides in ``tags["failure"]``."""
+    result = CellResult(
+        cell_id=cell_id,
+        box=box,
+        command=command,
+        verdict=verdict,
+        elapsed_seconds=elapsed_seconds,
+        attempts=attempts,
+    )
+    result.tags["failure"] = reason
+    return result
+
+
+def run_cell_guarded(
+    system,
+    box,
+    command: int,
+    settings,
+    cell_id: str,
+    attempt: int = 0,
+) -> CellResult:
+    """:func:`~repro.core.runner.verify_cell` wrapped in the budget
+    machinery: a cell that exceeds ``cell_timeout`` degrades to
+    ``TIMED_OUT``, one that raises degrades to ``ABORTED``. Used by the
+    serial driver and by every pool worker — a cell never takes the
+    campaign down."""
+    from .runner import verify_cell  # deferred: runner imports this module
+
+    rec = get_recorder()
+    injector = get_fault_injector()
+    started = time.perf_counter()
+    try:
+        with budget_guard(settings.cell_timeout, scope="cell"):
+            if injector is not None:
+                injector.on_guarded_cell(cell_id, attempt)
+            result = verify_cell(system, box, command, settings, cell_id)
+    except BudgetExceeded as exc:
+        if exc.scope != "cell":
+            raise
+        elapsed = time.perf_counter() - started
+        rec.inc("runner.cells_timed_out")
+        rec.event("cell.timeout", cell_id=cell_id, budget_seconds=exc.seconds)
+        logger.warning("cell %s exceeded its %.3gs budget; quarantined", cell_id, exc.seconds)
+        return quarantine_result(
+            cell_id,
+            box,
+            command,
+            Verdict.TIMED_OUT,
+            {"kind": "timeout", "budget_seconds": exc.seconds, "enforced": "budget-guard"},
+            elapsed_seconds=elapsed,
+            attempts=attempt + 1,
+        )
+    except Exception as exc:
+        elapsed = time.perf_counter() - started
+        rec.inc("runner.cells_errored")
+        rec.event("cell.error", cell_id=cell_id, error=type(exc).__name__)
+        logger.warning(
+            "cell %s raised %s: %s; quarantined", cell_id, type(exc).__name__, exc
+        )
+        return quarantine_result(
+            cell_id,
+            box,
+            command,
+            Verdict.ABORTED,
+            {"kind": "exception", "error": f"{type(exc).__name__}: {exc}"},
+            elapsed_seconds=elapsed,
+            attempts=attempt + 1,
+        )
+    result.attempts = attempt + 1
+    return result
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown: SIGINT/SIGTERM drain instead of discard
+# ----------------------------------------------------------------------
+@dataclass
+class ShutdownFlag:
+    """Set by the signal handler; polled by campaign loops."""
+
+    signum: int | None = None
+
+    @property
+    def requested(self) -> bool:
+        return self.signum is not None
+
+    @property
+    def reason(self) -> str | None:
+        if self.signum is None:
+            return None
+        return f"signal:{signal.Signals(self.signum).name}"
+
+
+@contextmanager
+def trap_shutdown_signals() -> Iterator[ShutdownFlag]:
+    """Install drain-on-SIGINT/SIGTERM handlers for the block.
+
+    The first signal sets the flag (loops stop dispatching and drain);
+    a second one raises ``KeyboardInterrupt`` so an operator can still
+    force a stop. No-op off the main thread — the flag then simply
+    never fires."""
+    flag = ShutdownFlag()
+    if threading.current_thread() is not threading.main_thread():
+        yield flag
+        return
+
+    def handler(signum, frame):
+        if flag.requested:
+            raise KeyboardInterrupt
+        flag.signum = signum
+        logger.warning(
+            "received %s: draining in-flight cells, then stopping "
+            "(repeat to abort immediately)",
+            signal.Signals(signum).name,
+        )
+
+    previous = {
+        sig: signal.signal(sig, handler) for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        yield flag
+    finally:
+        for sig, prev in previous.items():
+            signal.signal(sig, prev)
+
+
+# ----------------------------------------------------------------------
+# The worker process
+# ----------------------------------------------------------------------
+def _worker_main(
+    worker_id: int,
+    conn,
+    system_factory: Callable[[], object],
+    settings,
+    parent_trace: str | None,
+    observe: bool,
+) -> None:
+    # The parent owns shutdown: a terminal Ctrl-C lands on the whole
+    # process group, so workers ignore SIGINT and let the supervisor
+    # drain them.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # The forked child inherits the parent's recorder (and its open
+    # trace file descriptor, which must not be shared): install a fresh
+    # per-worker recorder writing to its own JSONL file.
+    if observe:
+        trace = worker_trace_path(Path(parent_trace)) if parent_trace is not None else None
+        set_recorder(Recorder(trace_path=trace))
+        get_recorder().event("worker.start", worker=worker_id, pid=os.getpid())
+    else:
+        set_recorder(None)
+    try:
+        system = system_factory()
+    except BaseException as exc:  # surfaced as a clear parent-side RuntimeError
+        try:
+            conn.send(("init_error", worker_id, f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+        conn.close()
+        return
+    conn.send(("ready", worker_id, os.getpid()))
+    injector = get_fault_injector()
+    rec = get_recorder()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # parent gone
+        if message is None:
+            break
+        seq, cell_id, box, command, tags, attempt = message
+        if injector is not None:
+            injector.on_worker_cell(cell_id, attempt)
+        result = run_cell_guarded(system, box, command, settings, cell_id, attempt)
+        result.tags.update(tags)
+        delta = None
+        if rec.enabled:
+            rec.flush()
+            # Ship the metrics gathered since the last cell back to the
+            # parent; draining keeps deltas disjoint, so the parent can
+            # simply fold every payload into its registry.
+            delta = rec.metrics.drain()
+            if injector is not None:
+                delta = injector.corrupt_metrics_payload(cell_id, attempt, delta)
+        try:
+            conn.send(("result", worker_id, seq, result, delta))
+        except OSError:
+            break
+    if rec.enabled:
+        rec.flush()
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# The supervisor
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkerHandle:
+    id: int
+    proc: multiprocessing.Process
+    conn: multiprocessing.connection.Connection
+    ready: bool = False
+    #: (seq, hard-kill monotonic deadline or None) of the in-flight cell.
+    current: tuple[int, float | None] | None = None
+
+
+@dataclass
+class SupervisorOutcome:
+    """What :func:`run_supervised` produced.
+
+    ``results`` maps task index -> :class:`CellResult` for every cell
+    that finished (organically or by quarantine). With no interruption
+    it covers every task; after a deadline/signal it is partial.
+    """
+
+    results: dict[int, CellResult] = field(default_factory=dict)
+    #: None, "deadline", or "signal:<NAME>".
+    interrupted: str | None = None
+    respawns: int = 0
+    retries: int = 0
+
+
+def _hard_kill_budget(settings) -> float | None:
+    if not settings.cell_timeout:
+        return None
+    return settings.cell_timeout + max(
+        _KILL_GRACE_MIN, _KILL_GRACE_FRACTION * settings.cell_timeout
+    )
+
+
+def _terminate(proc: multiprocessing.Process) -> None:
+    proc.terminate()
+    proc.join(timeout=2.0)
+    if proc.is_alive():  # pragma: no cover - stuck in uninterruptible sleep
+        proc.kill()
+        proc.join(timeout=2.0)
+
+
+def merge_worker_traces(rec) -> None:
+    """Fold per-worker trace files into the parent trace, globally
+    ordered by timestamp. Safe to call when tracing is off."""
+    parent = getattr(rec, "trace_path", None)
+    if not (rec.enabled and parent):
+        return
+    rec.flush()
+    parent_path = Path(parent)
+    worker_files = sorted(parent_path.parent.glob(f"{parent_path.stem}.worker-*.jsonl"))
+    if not worker_files:
+        return
+    merged = merge_traces(parent_path, worker_files, delete_sources=True)
+    rec.event("trace.merged", workers=len(worker_files), events=merged)
+    rec.flush()
+
+
+def run_supervised(
+    system_factory: Callable[[], object],
+    tasks: Sequence[Task],
+    settings,
+    on_result: Callable[[int, CellResult], None] | None = None,
+) -> SupervisorOutcome:
+    """Run ``tasks`` over a supervised pool of ``settings.workers``
+    fork processes.
+
+    ``on_result`` is called in the supervisor loop (parent process,
+    completion order) with ``(task_index, result)`` as each cell
+    finishes — the checkpoint journal and progress reporting hang off
+    it. Worker trace files are merged into the parent trace before
+    returning.
+
+    Raises ``RuntimeError`` if a worker's ``system_factory()`` call
+    fails: that is a configuration error, not a transient fault.
+    """
+    rec = get_recorder()
+    outcome = SupervisorOutcome()
+    total = len(tasks)
+    if total == 0:
+        return outcome
+
+    parent_trace = str(rec.trace_path) if getattr(rec, "trace_path", None) else None
+    ctx = multiprocessing.get_context("fork")
+    pool_size = min(settings.workers, total)
+    hard_budget = _hard_kill_budget(settings)
+
+    pending: deque[int] = deque(range(total))
+    retry_heap: list[tuple[float, int]] = []  # (due monotonic time, seq)
+    attempts: dict[int, int] = {}  # seq -> attempts already burned
+    workers: dict[int, _WorkerHandle] = {}
+    next_worker_id = 0
+    fatal: Exception | None = None
+    draining = False
+
+    def spawn() -> None:
+        nonlocal next_worker_id
+        wid = next_worker_id
+        next_worker_id += 1
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(wid, child_conn, system_factory, settings, parent_trace, rec.enabled),
+            name=f"repro-worker-{wid}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # the child holds its own copy; EOF now means death
+        workers[wid] = _WorkerHandle(id=wid, proc=proc, conn=parent_conn)
+
+    def finish(seq: int, result: CellResult) -> None:
+        outcome.results[seq] = result
+        if on_result is not None:
+            on_result(seq, result)
+
+    def quarantine(seq: int, verdict: Verdict, reason: dict, dispatches: int) -> None:
+        cell_id, box, command, tags = tasks[seq]
+        result = quarantine_result(
+            cell_id,
+            box,
+            command,
+            verdict,
+            reason,
+            attempts=dispatches,
+        )
+        result.tags.update(tags)
+        rec.inc(
+            "runner.cells_aborted"
+            if verdict is Verdict.ABORTED
+            else "runner.cells_timed_out"
+        )
+        finish(seq, result)
+
+    def handle_crash(seq: int, worker: _WorkerHandle) -> None:
+        exitcode = worker.proc.exitcode
+        cell_id = tasks[seq][0]
+        attempts[seq] = attempts.get(seq, 0) + 1
+        rec.inc("runner.worker_crashes")
+        rec.event(
+            "worker.crash",
+            worker=worker.id,
+            exitcode=exitcode,
+            cell_id=cell_id,
+            attempt=attempts[seq],
+        )
+        if attempts[seq] <= settings.max_retries:
+            outcome.retries += 1
+            rec.inc("runner.cell_retries")
+            delay = min(30.0, settings.retry_backoff * (2 ** (attempts[seq] - 1)))
+            logger.warning(
+                "worker %d died (exit %s) on %s; retry %d/%d in %.2gs",
+                worker.id, exitcode, cell_id, attempts[seq], settings.max_retries, delay,
+            )
+            heapq.heappush(retry_heap, (time.monotonic() + delay, seq))
+        else:
+            logger.error(
+                "worker %d died (exit %s) on %s; retries exhausted — quarantined",
+                worker.id, exitcode, cell_id,
+            )
+            quarantine(
+                seq,
+                Verdict.ABORTED,
+                {"kind": "crash", "exitcode": exitcode, "attempts": attempts[seq]},
+                dispatches=attempts[seq],
+            )
+
+    def handle_message(worker: _WorkerHandle, message) -> None:
+        nonlocal fatal
+        kind = message[0]
+        if kind == "ready":
+            worker.ready = True
+        elif kind == "init_error":
+            fatal = RuntimeError(
+                f"worker {message[1]} could not build the system: "
+                f"system_factory() raised {message[2]}"
+            )
+        elif kind == "result":
+            _, _, seq, result, delta = message
+            worker.current = None
+            if delta is not None and rec.enabled:
+                try:
+                    rec.metrics.merge_snapshot(delta)
+                except Exception as exc:
+                    rec.inc("runner.corrupt_metric_payloads")
+                    rec.event(
+                        "metrics.corrupt_payload",
+                        worker=worker.id,
+                        cell_id=result.cell_id,
+                        error=type(exc).__name__,
+                    )
+                    logger.warning(
+                        "discarding corrupt metrics payload from worker %d (%s: %s)",
+                        worker.id, type(exc).__name__, exc,
+                    )
+            finish(seq, result)
+
+    started_at = time.monotonic()
+    deadline_at = started_at + settings.deadline if settings.deadline else None
+
+    with trap_shutdown_signals() as stop:
+        try:
+            for _ in range(pool_size):
+                spawn()
+            while pending or retry_heap or any(w.current for w in workers.values()):
+                if fatal is not None:
+                    break
+                now = time.monotonic()
+
+                # -- interruption: stop dispatching, drain in-flight --
+                if not draining:
+                    if stop.requested:
+                        outcome.interrupted = stop.reason
+                    elif deadline_at is not None and now >= deadline_at:
+                        outcome.interrupted = "deadline"
+                    if outcome.interrupted:
+                        draining = True
+                        dropped = len(pending) + len(retry_heap)
+                        pending.clear()
+                        retry_heap.clear()
+                        rec.event(
+                            "campaign.interrupted",
+                            reason=outcome.interrupted,
+                            dropped_cells=dropped,
+                        )
+                        logger.warning(
+                            "campaign interrupted (%s): %d cells not dispatched; "
+                            "draining %d in-flight",
+                            outcome.interrupted,
+                            dropped,
+                            sum(1 for w in workers.values() if w.current),
+                        )
+
+                # -- promote due retries ------------------------------
+                while retry_heap and retry_heap[0][0] <= now:
+                    _, seq = heapq.heappop(retry_heap)
+                    pending.append(seq)
+
+                # -- dispatch to idle, ready workers ------------------
+                for worker in workers.values():
+                    if not pending:
+                        break
+                    if not (worker.ready and worker.current is None and worker.proc.is_alive()):
+                        continue
+                    seq = pending.popleft()
+                    cell_id, box, command, tags = tasks[seq]
+                    try:
+                        worker.conn.send(
+                            (seq, cell_id, box, command, tags, attempts.get(seq, 0))
+                        )
+                    except (BrokenPipeError, OSError):
+                        pending.appendleft(seq)  # the liveness sweep reaps it
+                        continue
+                    worker.current = (seq, now + hard_budget if hard_budget else None)
+
+                # -- wait for worker messages -------------------------
+                conns = {w.conn: w for w in workers.values()}
+                tick = _TICK
+                if retry_heap:
+                    tick = min(tick, max(0.01, retry_heap[0][0] - now))
+                try:
+                    readable = multiprocessing.connection.wait(list(conns), tick) if conns else []
+                except OSError:  # pragma: no cover - racy fd close
+                    readable = []
+                for conn in readable:
+                    worker = conns[conn]
+                    try:
+                        handle_message(worker, conn.recv())
+                    except (EOFError, OSError):
+                        continue  # dead: the liveness sweep handles it
+
+                # -- liveness sweep: reap the dead --------------------
+                for worker in list(workers.values()):
+                    if worker.proc.is_alive():
+                        continue
+                    # Drain messages the worker managed to send before
+                    # dying (a clean result followed by a crash must
+                    # not burn a retry).
+                    try:
+                        while worker.conn.poll():
+                            handle_message(worker, worker.conn.recv())
+                    except (EOFError, OSError):
+                        pass
+                    if worker.current is not None:
+                        seq, _ = worker.current
+                        worker.current = None
+                        handle_crash(seq, worker)
+                    worker.conn.close()
+                    worker.proc.join()
+                    del workers[worker.id]
+
+                # -- hard-deadline sweep: kill the stuck --------------
+                now = time.monotonic()
+                for worker in list(workers.values()):
+                    if worker.current is None or worker.current[1] is None:
+                        continue
+                    seq, kill_at = worker.current
+                    if now < kill_at:
+                        continue
+                    cell_id = tasks[seq][0]
+                    logger.warning(
+                        "worker %d stuck on %s past the %.3gs budget; killing it",
+                        worker.id, cell_id, settings.cell_timeout,
+                    )
+                    rec.event(
+                        "worker.killed", worker=worker.id, cell_id=cell_id,
+                        budget_seconds=settings.cell_timeout,
+                    )
+                    worker.current = None
+                    _terminate(worker.proc)
+                    quarantine(
+                        seq,
+                        Verdict.TIMED_OUT,
+                        {
+                            "kind": "timeout",
+                            "budget_seconds": settings.cell_timeout,
+                            "enforced": "supervisor-kill",
+                        },
+                        dispatches=attempts.get(seq, 0) + 1,
+                    )
+                    worker.conn.close()
+                    del workers[worker.id]
+
+                # -- keep the pool at strength ------------------------
+                if not draining and fatal is None:
+                    in_flight = sum(1 for w in workers.values() if w.current)
+                    needed = min(pool_size, len(pending) + len(retry_heap) + in_flight)
+                    while len(workers) < needed:
+                        spawn()
+                        outcome.respawns += 1
+                        rec.inc("runner.worker_respawns")
+                        rec.event("worker.respawn")
+        finally:
+            for worker in workers.values():
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            for worker in workers.values():
+                worker.proc.join(timeout=2.0)
+                if worker.proc.is_alive():
+                    _terminate(worker.proc)
+                worker.conn.close()
+            merge_worker_traces(rec)
+
+    if fatal is not None:
+        raise fatal
+    return outcome

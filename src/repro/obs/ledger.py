@@ -139,12 +139,19 @@ class RunRecord:
             f"{self.coverage_percent:.1f}%" if self.coverage_percent is not None else "-"
         )
         verdicts = self.verdicts or {}
-        return (
+        line = (
             f"{self.run_id}  {self.kind:<9} wall {self.wall_seconds:8.2f}s  "
             f"coverage {coverage:>6}  proved {verdicts.get('proved', 0)} "
             f"unproved {verdicts.get('unproved', 0)} "
-            f"witnessed {verdicts.get('witnessed', 0)}  [{self.git_sha[:10]}]"
+            f"witnessed {verdicts.get('witnessed', 0)}"
         )
+        # Quarantine counts (supervised runner) only when nonzero, so
+        # healthy runs keep the familiar line.
+        if verdicts.get("aborted"):
+            line += f" aborted {verdicts['aborted']}"
+        if verdicts.get("timed-out"):
+            line += f" timed-out {verdicts['timed-out']}"
+        return f"{line}  [{self.git_sha[:10]}]"
 
 
 def new_run_id(kind: str, started_at: float | None = None) -> str:

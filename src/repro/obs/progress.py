@@ -62,6 +62,8 @@ class CampaignProgress:
         self.proved = 0
         self.unproved = 0
         self.witnessed = 0
+        self.aborted = 0
+        self.timed_out = 0
 
     # -- feeding -------------------------------------------------------
     def update(self, done: int, total: int, result: "CellResult | None" = None) -> None:
@@ -70,10 +72,21 @@ class CampaignProgress:
         if result is not None:
             # Count the whole refinement tree's leaves so deep splits
             # show up in the rolling verdicts, not just top-level cells.
+            # (getattr-based: callers may feed duck-typed results that
+            # only provide coverage_fraction and tags.)
+            leaves = result.leaves() if hasattr(result, "leaves") else [result]
+            verdicts = {
+                getattr(getattr(leaf, "verdict", None), "value", None)
+                for leaf in leaves
+            }
             if result.coverage_fraction() >= 1.0:
                 self.proved += 1
-            elif "witness" in result.tags:
+            elif any("witness" in getattr(leaf, "tags", {}) for leaf in leaves):
                 self.witnessed += 1
+            elif "aborted" in verdicts:
+                self.aborted += 1
+            elif "timed-out" in verdicts:
+                self.timed_out += 1
             else:
                 self.unproved += 1
         now = self._clock()
@@ -113,8 +126,15 @@ class CampaignProgress:
             parts.append(f"{self.rate:.2f} cell/s")
             if self.done < self.total:
                 parts.append(f"ETA {format_eta(self.eta_seconds)}")
-        parts.append(
+        verdicts = (
             f"proved {self.proved} unproved {self.unproved} "
             f"witnessed {self.witnessed}"
         )
+        # Quarantine counts only appear once something went wrong, so
+        # healthy campaigns keep the familiar three-way line.
+        if self.aborted:
+            verdicts += f" aborted {self.aborted}"
+        if self.timed_out:
+            verdicts += f" timed-out {self.timed_out}"
+        parts.append(verdicts)
         return " | ".join(parts)

@@ -197,7 +197,13 @@ def _trend_series(records: Sequence[RunRecord]) -> list[tuple[str, list[float], 
                 "up",
             )
         )
-    for verdict, direction in (("proved", "up"), ("unproved", "down"), ("witnessed", None)):
+    for verdict, direction in (
+        ("proved", "up"),
+        ("unproved", "down"),
+        ("witnessed", None),
+        ("aborted", "down"),
+        ("timed-out", "down"),
+    ):
         if any(r.verdicts.get(verdict) for r in records):
             series.append(
                 (
@@ -263,6 +269,7 @@ th { background: #f2f3f4; }
 td.num { text-align: right; font-variant-numeric: tabular-nums; }
 .verdict-proved { color: #1e8449; font-weight: 600; }
 .verdict-unproved { color: #c0392b; font-weight: 600; }
+.verdict-quarantined { color: #b9770e; font-weight: 600; }
 .meta { color: #566573; font-size: 0.8rem; }
 figure { margin: 0.8rem 0; }
 figcaption { font-size: 0.8rem; color: #566573; }
@@ -293,14 +300,23 @@ def _verdict_table(record: RunRecord) -> str:
     total = verdicts.get("total", sum(
         v for k, v in verdicts.items() if k != "total" and isinstance(v, (int, float))
     ))
-    return (
-        "<h2>Verdicts</h2><table><tr>"
-        f"<td class='verdict-proved'>proved {verdicts.get('proved', 0)}</td>"
-        f"<td class='verdict-unproved'>unproved {verdicts.get('unproved', 0)}</td>"
-        f"<td>witnessed {verdicts.get('witnessed', 0)}</td>"
-        f"<td>total {total}</td>"
-        "</tr></table>"
-    )
+    cells = [
+        f"<td class='verdict-proved'>proved {verdicts.get('proved', 0)}</td>",
+        f"<td class='verdict-unproved'>unproved {verdicts.get('unproved', 0)}</td>",
+        f"<td>witnessed {verdicts.get('witnessed', 0)}</td>",
+    ]
+    # Quarantine verdicts from the supervised runner: show only when
+    # something actually went wrong.
+    if verdicts.get("aborted"):
+        cells.append(
+            f"<td class='verdict-quarantined'>aborted {verdicts['aborted']}</td>"
+        )
+    if verdicts.get("timed-out"):
+        cells.append(
+            f"<td class='verdict-quarantined'>timed-out {verdicts['timed-out']}</td>"
+        )
+    cells.append(f"<td>total {total}</td>")
+    return "<h2>Verdicts</h2><table><tr>" + "".join(cells) + "</tr></table>"
 
 
 def _phase_table(record: RunRecord) -> str:

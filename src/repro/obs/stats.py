@@ -144,6 +144,28 @@ def render_stats(
         for duration, cell_id in summary.slowest_cells:
             lines.append(f"  {duration:>9.3f}s  {cell_id}")
 
+    recovery = [
+        ("worker.crash", "worker crashes"),
+        ("worker.respawn", "worker respawns"),
+        ("worker.killed", "workers killed (stuck past budget)"),
+        ("cell.timeout", "cells timed out"),
+        ("cell.error", "cells aborted on exception"),
+        ("runner.witness_timeout", "witness searches timed out"),
+        ("campaign.interrupted", "campaign interruptions"),
+        ("metrics.corrupt_payload", "corrupt metric payloads dropped"),
+        ("journal.malformed_line", "malformed journal lines skipped"),
+    ]
+    recovery_rows = [
+        (label, summary.event_counts[name])
+        for name, label in recovery
+        if summary.event_counts.get(name)
+    ]
+    if recovery_rows:
+        lines.append("")
+        lines.append("fault recovery:")
+        for label, count in recovery_rows:
+            lines.append(f"  {label}: {count}")
+
     if summary.event_counts:
         lines.append("")
         lines.append("events by name:")

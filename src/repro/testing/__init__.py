@@ -1,0 +1,28 @@
+"""Test-support machinery that ships with the package.
+
+Unlike ``tests/``, this package is importable from production code:
+the fault-injection harness (:mod:`repro.testing.faults`) hooks into
+the supervised runner and the checkpoint journal so that recovery
+paths can be exercised deterministically — from tier-1 tests and, via
+the ``REPRO_FAULTS`` environment variable, from live campaigns.
+"""
+
+from .faults import (
+    FaultInjector,
+    FaultSpec,
+    FaultSpecError,
+    get_fault_injector,
+    injected_faults,
+    install_faults,
+    parse_faults,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "FaultSpecError",
+    "get_fault_injector",
+    "injected_faults",
+    "install_faults",
+    "parse_faults",
+]

@@ -1,0 +1,242 @@
+"""Deterministic fault injection for the campaign execution layer.
+
+The supervised runner (:mod:`repro.core.supervisor`) promises that a
+worker crash, a hung cell, a torn journal write or a corrupted metrics
+payload degrades to an explicit quarantine verdict instead of taking
+the campaign down. Those promises are only worth anything if the
+recovery paths run under test, so this module provides *deterministic*
+fault injection at the four seams:
+
+* ``crash:<cell>[:<n>|*]`` — the worker calls ``os._exit`` when it is
+  handed ``<cell>`` (first ``n`` attempts, default 1; ``*`` = every
+  attempt). Exercises dead-worker detection, respawn and retry.
+* ``hang:<cell>[:<seconds>]`` — the worker blocks ``SIGALRM`` and
+  sleeps (default 3600 s), immune to the in-worker budget guard.
+  Exercises the supervisor's external kill path.
+* ``slow:<cell>[:<seconds>]`` — an interruptible sleep (default 1 s)
+  inside the cell's budget guard, in pool workers and the serial
+  driver alike. Exercises the in-process ``cell_timeout`` guard.
+* ``torn-journal[:<nth>]`` — the ``nth`` checkpoint-journal append
+  (1-based, default 1) is truncated mid-line with no newline, like a
+  power loss mid-write. Exercises the tolerant journal loader.
+* ``corrupt-metrics[:<cell>]`` — the metrics delta shipped back for
+  ``<cell>`` (default: every cell) is replaced with garbage.
+  Exercises the parent's merge guard.
+
+Faults come from :func:`install_faults` (tests) or the ``REPRO_FAULTS``
+environment variable (live runs; fork workers inherit both). With no
+faults installed every hook is a ``None`` check — campaigns in
+production pay nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+#: Environment variable holding a fault spec string.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Exit code used for injected worker crashes (distinctive in logs).
+CRASH_EXIT_CODE = 43
+
+#: Fault kinds that target a specific cell attempt inside a worker.
+_WORKER_KINDS = ("crash", "hang", "slow")
+_ALL_KINDS = _WORKER_KINDS + ("torn-journal", "corrupt-metrics")
+
+
+class FaultSpecError(ValueError):
+    """A ``REPRO_FAULTS`` spec string that cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault directive."""
+
+    kind: str
+    #: Target cell id for crash/hang/slow/corrupt-metrics (None = any).
+    cell_id: str | None = None
+    #: crash: number of leading attempts to crash (-1 = every attempt).
+    attempts: int = 1
+    #: hang/slow: sleep duration in seconds.
+    seconds: float = 3600.0
+    #: torn-journal: which journal append to tear (1-based).
+    nth: int = 1
+
+
+def parse_faults(spec: str) -> list[FaultSpec]:
+    """Parse a comma-separated fault spec string (see module docs)."""
+    faults: list[FaultSpec] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        parts = token.split(":")
+        kind = parts[0]
+        if kind not in _ALL_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {kind!r} in {token!r} "
+                f"(expected one of {', '.join(_ALL_KINDS)})"
+            )
+        try:
+            if kind == "crash":
+                if len(parts) < 2 or len(parts) > 3:
+                    raise FaultSpecError(f"{token!r}: expected crash:<cell>[:<n>|*]")
+                attempts = 1
+                if len(parts) == 3:
+                    attempts = -1 if parts[2] == "*" else int(parts[2])
+                faults.append(FaultSpec("crash", cell_id=parts[1], attempts=attempts))
+            elif kind in ("hang", "slow"):
+                if len(parts) < 2 or len(parts) > 3:
+                    raise FaultSpecError(f"{token!r}: expected {kind}:<cell>[:<seconds>]")
+                seconds = float(parts[2]) if len(parts) == 3 else (
+                    3600.0 if kind == "hang" else 1.0
+                )
+                faults.append(FaultSpec(kind, cell_id=parts[1], seconds=seconds))
+            elif kind == "torn-journal":
+                if len(parts) > 2:
+                    raise FaultSpecError(f"{token!r}: expected torn-journal[:<nth>]")
+                faults.append(FaultSpec("torn-journal", nth=int(parts[1]) if len(parts) == 2 else 1))
+            else:  # corrupt-metrics
+                if len(parts) > 2:
+                    raise FaultSpecError(f"{token!r}: expected corrupt-metrics[:<cell>]")
+                faults.append(
+                    FaultSpec("corrupt-metrics", cell_id=parts[1] if len(parts) == 2 else None)
+                )
+        except ValueError as exc:
+            if isinstance(exc, FaultSpecError):
+                raise
+            raise FaultSpecError(f"bad fault token {token!r}: {exc}") from exc
+    return faults
+
+
+class FaultInjector:
+    """Holds parsed fault specs and answers the hook-point queries.
+
+    Worker-side decisions (crash/hang/slow/corrupt-metrics) are pure
+    functions of ``(cell_id, attempt)`` so they stay deterministic
+    across process boundaries: a respawned worker reaches the same
+    verdict about the same attempt. Parent-side state (the journal
+    append counter) lives on the instance.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec]):
+        self.specs = list(specs)
+        self._journal_appends = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultInjector({self.specs!r})"
+
+    # -- worker-side ---------------------------------------------------
+    def _match(self, kind: str, cell_id: str) -> FaultSpec | None:
+        for spec in self.specs:
+            if spec.kind == kind and (spec.cell_id is None or spec.cell_id == cell_id):
+                return spec
+        return None
+
+    def on_worker_cell(self, cell_id: str, attempt: int) -> None:
+        """Called by a pool worker just before verifying a cell; may
+        never return (crash) or may sleep (hang)."""
+        crash = self._match("crash", cell_id)
+        if crash is not None and (crash.attempts < 0 or attempt < crash.attempts):
+            os._exit(CRASH_EXIT_CODE)
+        hang = self._match("hang", cell_id)
+        if hang is not None and attempt == 0:
+            # Pretend to be stuck in native code: the in-worker SIGALRM
+            # budget guard cannot fire, so the supervisor must kill us.
+            signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+            deadline = time.monotonic() + hang.seconds
+            while time.monotonic() < deadline:
+                time.sleep(min(1.0, max(0.0, deadline - time.monotonic())))
+
+    def on_guarded_cell(self, cell_id: str, attempt: int) -> None:
+        """Called inside the cell's budget guard (worker *and* serial
+        paths): a ``slow`` fault sleeps interruptibly here, so the
+        in-process ``cell_timeout`` guard is what cuts it off."""
+        slow = self._match("slow", cell_id)
+        if slow is not None and attempt == 0:
+            time.sleep(slow.seconds)
+
+    def corrupt_metrics_payload(self, cell_id: str, attempt: int, delta):
+        """Replace the metrics delta shipped to the parent with garbage
+        when a ``corrupt-metrics`` fault targets this cell."""
+        spec = self._match("corrupt-metrics", cell_id)
+        if spec is not None and attempt == 0:
+            return {"counters": ["not", "a", "mapping"], "corrupted-by": "fault-injection"}
+        return delta
+
+    # -- parent-side ---------------------------------------------------
+    def tear_journal_line(self, line: str) -> tuple[str, bool]:
+        """Maybe tear a checkpoint-journal line. Returns ``(text,
+        torn)``; when torn, the caller must write ``text`` *without* a
+        trailing newline (mimicking a write cut off mid-line)."""
+        specs = [s for s in self.specs if s.kind == "torn-journal"]
+        if not specs:
+            return line, False
+        self._journal_appends += 1
+        if any(s.nth == self._journal_appends for s in specs):
+            return line[: max(1, len(line) // 2)], True
+        return line, False
+
+
+# ----------------------------------------------------------------------
+# Installation: explicit (tests) or via $REPRO_FAULTS (live runs)
+# ----------------------------------------------------------------------
+_INSTALLED: FaultInjector | None = None
+#: Cache for the env-derived injector: (spec string, injector). Keyed by
+#: the raw env value so parent-side state (the journal append counter)
+#: survives repeated lookups within one run, while a *changed* env (a
+#: test's monkeypatch) builds a fresh injector.
+_ENV_CACHE: tuple[str, FaultInjector] | None = None
+
+
+def install_faults(faults: FaultInjector | Sequence[FaultSpec] | str | None) -> FaultInjector | None:
+    """Install a fault injector process-wide; returns the previous one.
+
+    Accepts an injector, a spec list, a spec string, or ``None`` to
+    uninstall. Fork-pool workers inherit whatever is installed at fork
+    time.
+    """
+    global _INSTALLED
+    previous = _INSTALLED
+    if faults is None or isinstance(faults, FaultInjector):
+        _INSTALLED = faults
+    elif isinstance(faults, str):
+        _INSTALLED = FaultInjector(parse_faults(faults))
+    else:
+        _INSTALLED = FaultInjector(faults)
+    return previous
+
+
+def get_fault_injector() -> FaultInjector | None:
+    """The installed injector, else one parsed from ``$REPRO_FAULTS``,
+    else ``None`` (the common case — every hook site checks for None
+    first, so production campaigns pay a dict lookup)."""
+    global _ENV_CACHE
+    if _INSTALLED is not None:
+        return _INSTALLED
+    spec = os.environ.get(FAULTS_ENV)
+    if not spec:
+        _ENV_CACHE = None
+        return None
+    if _ENV_CACHE is not None and _ENV_CACHE[0] == spec:
+        return _ENV_CACHE[1]
+    injector = FaultInjector(parse_faults(spec))
+    _ENV_CACHE = (spec, injector)
+    return injector
+
+
+@contextmanager
+def injected_faults(faults: FaultInjector | Sequence[FaultSpec] | str) -> Iterator[FaultInjector]:
+    """Scoped :func:`install_faults` (restores the previous injector)."""
+    previous = install_faults(faults)
+    try:
+        injector = get_fault_injector()
+        assert injector is not None
+        yield injector
+    finally:
+        install_faults(previous)

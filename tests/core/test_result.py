@@ -131,3 +131,59 @@ class TestSerialization:
         text = report.summary()
         assert "demo" in text
         assert "100.00%" in text
+
+
+def quarantined_cell(cell_id, verdict, attempts=2):
+    result = CellResult(
+        cell_id=cell_id,
+        box=Box([0.0], [1.0]),
+        command=0,
+        verdict=verdict,
+        attempts=attempts,
+    )
+    result.tags["failure"] = {"kind": "crash"}
+    return result
+
+
+class TestQuarantineVerdicts:
+    def test_verdict_counts_include_quarantine_buckets(self):
+        report = VerificationReport(
+            cells=[
+                cell("a", True),
+                cell("b", False),
+                quarantined_cell("c", Verdict.ABORTED),
+                quarantined_cell("d", Verdict.TIMED_OUT),
+            ]
+        )
+        assert report.verdict_counts() == {
+            "proved": 1,
+            "unproved": 1,
+            "witnessed": 0,
+            "aborted": 1,
+            "timed-out": 1,
+            "total": 4,
+        }
+
+    def test_quarantined_property_and_worklist(self):
+        aborted = quarantined_cell("c", Verdict.ABORTED)
+        assert aborted.quarantined
+        assert not cell("a", True).quarantined
+        report = VerificationReport(cells=[cell("a", True), aborted])
+        assert [c.cell_id for c in report.quarantined_cells()] == ["c"]
+
+    def test_quarantine_counts_as_unproved_for_coverage(self):
+        report = VerificationReport(
+            cells=[cell("a", True), quarantined_cell("c", Verdict.TIMED_OUT)]
+        )
+        assert report.coverage_percent() == pytest.approx(50.0)
+
+    def test_attempts_survive_serialization(self, tmp_path):
+        report = VerificationReport(
+            cells=[quarantined_cell("c", Verdict.ABORTED, attempts=3)]
+        )
+        path = tmp_path / "report.json"
+        report.to_json(path)
+        loaded = VerificationReport.from_json(path)
+        assert loaded.cells[0].attempts == 3
+        assert loaded.cells[0].verdict is Verdict.ABORTED
+        assert loaded.cells[0].tags["failure"]["kind"] == "crash"

@@ -152,7 +152,8 @@ class TestExtraction:
         assert record.wall_seconds == pytest.approx(4.5)
         assert record.git_sha == "cafe"
         assert record.verdicts == {
-            "proved": 1, "unproved": 1, "witnessed": 1, "total": 3,
+            "proved": 1, "unproved": 1, "witnessed": 1,
+            "aborted": 0, "timed-out": 0, "total": 3,
         }
         assert record.coverage_percent == pytest.approx(100.0 / 3.0)
         assert record.phases["cell"]["count"] == 1
