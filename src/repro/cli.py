@@ -8,7 +8,10 @@ Subcommands:
 * ``falsify``  — hunt for concrete counterexamples in unproved cells;
 * ``simulate`` — run and print one concrete encounter;
 * ``fig7``     — the substep-tightness ablation;
-* ``stats``    — summarize a JSONL trace (per-phase timings, slow cells);
+* ``stats``    — summarize a JSONL trace (per-phase timings, slow cells),
+  or one live snapshot with ``--live``;
+* ``watch``    — follow a running campaign live (per-worker table,
+  verdict bar, stall detection);
 * ``report``   — render ledger runs into a self-contained HTML dashboard;
 * ``compare``  — diff two ledger runs / a committed baseline (perf gate).
 
@@ -145,11 +148,19 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    import contextlib
     import time
 
     from .core import ReachSettings, RefinementPolicy, RunnerSettings
     from .experiments import ExperimentConfig, render_report, run_experiment
-    from .obs import CampaignProgress, Recorder, set_recorder
+    from .obs import (
+        CampaignProgress,
+        LiveTelemetry,
+        Recorder,
+        TelemetrySettings,
+        new_run_id,
+        set_recorder,
+    )
 
     recorder = _setup_observability(args)
     if not recorder.enabled:
@@ -176,9 +187,39 @@ def cmd_verify(args: argparse.Namespace) -> int:
         ),
     )
 
+    # Mint the run id before the campaign so the live-status directory
+    # (.repro/live/<run-id>/) and the ledger record share one name.
+    run_id = new_run_id("verify")
+    live: LiveTelemetry | None = None
+    if not args.no_live:
+        try:
+            live = LiveTelemetry(
+                run_id,
+                TelemetrySettings(
+                    interval=args.live_interval,
+                    root=args.live_dir,
+                    metrics_port=args.metrics_port,
+                ),
+                recorder=recorder,
+            )
+        except OSError as error:
+            # A read-only checkout must not stop a verification run.
+            print(f"warning: live telemetry disabled: {error}", file=sys.stderr)
+            live = None
+
     progress = CampaignProgress(stream=sys.stderr)
+    if live is not None:
+        progress.stalled_provider = live.snapshot.stalled_count
+        print(f"live status: {live.status_path} (`repro watch {run_id}`)",
+              file=sys.stderr)
+        if live.server is not None:
+            print(f"metrics endpoint: {live.server.url} "
+                  "(/status.json, /metrics)", file=sys.stderr)
     started = time.perf_counter()
-    report = run_experiment(config, progress=progress)
+    with contextlib.ExitStack() as stack:
+        if live is not None:
+            stack.enter_context(live)
+        report = run_experiment(config, progress=progress)
     wall = time.perf_counter() - started
     print(render_report(report))
 
@@ -209,9 +250,21 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     from .obs import record_from_report
 
+    extra = {
+        key: value
+        for key, value in (
+            ("trace", args.trace_out),
+            ("metrics", args.metrics_out),
+            ("report", args.out),
+        )
+        if value
+    }
+    if live is not None:
+        extra["live_status"] = str(live.status_path)
     record = record_from_report(
         report,
         kind="verify",
+        run_id=run_id,
         config={
             "scenario": args.scenario,
             "arcs": args.arcs,
@@ -225,15 +278,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
             "max_retries": args.max_retries,
         },
         wall_seconds=wall,
-        extra={
-            key: value
-            for key, value in (
-                ("trace", args.trace_out),
-                ("metrics", args.metrics_out),
-                ("report", args.out),
-            )
-            if value
-        },
+        extra=extra,
     )
     _append_ledger(args, record)
     _teardown_observability(args, recorder)
@@ -468,6 +513,26 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     from .obs import render_stats, summarize_trace_file
 
+    if args.live:
+        # One-shot snapshot of a (possibly still running) campaign,
+        # rendered exactly like a `repro watch` frame but without the
+        # TTY loop — pipe/cron friendly.
+        from .obs import read_status, render_watch
+
+        try:
+            status = read_status(args.live, root=args.live_dir)
+        except (FileNotFoundError, ValueError, json.JSONDecodeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(render_watch(status))
+        return 0
+    if not args.trace:
+        print(
+            "error: pass a trace file, or --live <run-id|path> for a "
+            "live-campaign snapshot",
+            file=sys.stderr,
+        )
+        return 1
     trace_path = Path(args.trace)
     if not trace_path.exists():
         print(f"error: no such trace: {trace_path}", file=sys.stderr)
@@ -499,6 +564,58 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print(f"trace: {trace_path}")
     print(render_stats(summary, metrics_snapshot))
     return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .obs import list_live_runs, read_status, render_watch
+
+    ref = args.run
+    if not ref:
+        runs = list_live_runs(args.live_dir)
+        if not runs:
+            from .obs import live_root
+
+            print(
+                f"error: no live runs under {live_root(args.live_dir)} "
+                "(start one with `repro verify`)",
+                file=sys.stderr,
+            )
+            return 1
+        # Prefer a campaign that is still going; else show the newest.
+        running = [r for r in runs if r.get("state") in ("running", "starting")]
+        ref = (running[0] if running else runs[0])["run_id"]
+
+    def load() -> dict | None:
+        try:
+            return read_status(ref, root=args.live_dir)
+        except (FileNotFoundError, ValueError, json.JSONDecodeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return None
+
+    status = load()
+    if status is None:
+        return 1
+    if args.once:
+        print(render_watch(status))
+        return 0
+    try:
+        while True:
+            # Clear + home; re-rendering the whole frame keeps the view
+            # consistent however the terminal got resized.
+            sys.stdout.write("\x1b[2J\x1b[H" + render_watch(status) + "\n")
+            sys.stdout.flush()
+            if status.get("state") in ("finished", "interrupted"):
+                return 0
+            time.sleep(args.interval)
+            status = load()
+            if status is None:
+                return 1
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def _load_ledger_records(args: argparse.Namespace, refs: list[str]):
@@ -681,6 +798,24 @@ def build_parser() -> argparse.ArgumentParser:
         "quarantined as aborted",
     )
     p_verify.add_argument("--out", help="write the JSON report here")
+    p_verify.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve the live snapshot over HTTP on 127.0.0.1:PORT "
+        "(0 = ephemeral): /status.json is JSON, /metrics is Prometheus "
+        "text format",
+    )
+    p_verify.add_argument(
+        "--no-live", action="store_true",
+        help="disable live telemetry (heartbeats and .repro/live status files)",
+    )
+    p_verify.add_argument(
+        "--live-interval", type=float, default=1.0, metavar="SECONDS",
+        help="worker heartbeat / status.json rewrite period",
+    )
+    p_verify.add_argument(
+        "--live-dir",
+        help="live-status directory (default: $REPRO_LIVE or .repro/live)",
+    )
     _add_obs_arguments(p_verify)
     p_verify.set_defaults(fn=cmd_verify)
 
@@ -727,16 +862,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.set_defaults(fn=cmd_evaluate)
 
     p_stats = sub.add_parser(
-        "stats", help="summarize a JSONL trace (phase timings, slowest cells)"
+        "stats", help="summarize a JSONL trace (phase timings, slowest cells) "
+        "or a live campaign snapshot (--live)"
     )
-    p_stats.add_argument("trace", help="trace file written via --trace-out")
+    p_stats.add_argument(
+        "trace", nargs="?", help="trace file written via --trace-out"
+    )
     p_stats.add_argument(
         "--metrics", help="metrics snapshot written via --metrics-out"
     )
     p_stats.add_argument(
         "--top", type=int, default=10, help="how many slowest cells to list"
     )
+    p_stats.add_argument(
+        "--live", metavar="RUN",
+        help="print one watch-style frame for this run id / directory / "
+        "status.json instead of summarizing a trace",
+    )
+    p_stats.add_argument(
+        "--live-dir",
+        help="live-status directory (default: $REPRO_LIVE or .repro/live)",
+    )
     p_stats.set_defaults(fn=cmd_stats)
+
+    p_watch = sub.add_parser(
+        "watch", help="follow a running campaign live (worker table, "
+        "verdict bar, stall detection)"
+    )
+    p_watch.add_argument(
+        "run", nargs="?",
+        help="run id, run directory, or status.json path (default: the "
+        "newest live run, preferring one still running)",
+    )
+    p_watch.add_argument(
+        "--live-dir",
+        help="live-status directory (default: $REPRO_LIVE or .repro/live)",
+    )
+    p_watch.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh period",
+    )
+    p_watch.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (no screen clearing)",
+    )
+    p_watch.set_defaults(fn=cmd_watch)
 
     p_report = sub.add_parser(
         "report",

@@ -29,6 +29,7 @@ from typing import Callable, Sequence
 
 from ..intervals import Box
 from ..obs import get_recorder
+from ..obs.live import HeartbeatReporter, get_bus
 from ..testing.faults import get_fault_injector
 from .result import CellResult, VerificationReport
 from .runner import RunnerSettings, _notify_progress, _settings_summary
@@ -178,6 +179,10 @@ def verify_partition_checkpointed(
     skipped = 0
     interrupted: str | None = None
     results: dict[int, CellResult] = {}
+    bus = get_bus()
+    bus.publish(
+        "campaign.started", total=total, workers=settings.workers, pid=os.getpid()
+    )
 
     def notify(result: CellResult) -> None:
         nonlocal done
@@ -192,6 +197,18 @@ def verify_partition_checkpointed(
             results[i] = cached
             skipped += 1
             rec.inc("checkpoint.cells_skipped")
+            # Journal-cached cells never touch a worker; worker=None and
+            # cached=True let snapshot consumers count them separately.
+            bus.publish(
+                "cell.finished",
+                worker=None,
+                cell_id=f"cell-{i}",
+                seq=i,
+                verdict=cached.verdict.value,
+                verdict_class=cached.verdict_class(),
+                elapsed=0.0,
+                cached=True,
+            )
             notify(cached)
         else:
             remaining.append(i)
@@ -200,34 +217,75 @@ def verify_partition_checkpointed(
         journal = _JournalWriter(handle, fsync)
         if remaining and settings.workers == 1:
             system = system_factory()
-            with trap_shutdown_signals() as stop:
-                deadline_at = (
-                    time.monotonic() + settings.deadline if settings.deadline else None
-                )
-                for n, i in enumerate(remaining):
-                    if stop.requested:
-                        interrupted = stop.reason
-                    elif deadline_at is not None and time.monotonic() >= deadline_at:
-                        interrupted = "deadline"
-                    if interrupted:
-                        rec.event(
-                            "campaign.interrupted",
-                            reason=interrupted,
-                            dropped_cells=len(remaining) - n,
-                        )
-                        logger.warning(
-                            "campaign interrupted (%s): %d cells not run",
-                            interrupted, len(remaining) - n,
-                        )
-                        break
-                    box, command, tags = parsed[i]
-                    result = run_cell_guarded(
-                        system, box, command, settings, f"cell-{i}"
+            reporter = None
+            if bus.enabled:
+                bus.publish("worker.ready", worker=0, pid=os.getpid())
+                reporter = HeartbeatReporter(
+                    lambda p: bus.publish("worker.heartbeat", worker=0, **p),
+                    bus.heartbeat_interval or 1.0,
+                ).start()
+            try:
+                with trap_shutdown_signals() as stop:
+                    deadline_at = (
+                        time.monotonic() + settings.deadline
+                        if settings.deadline
+                        else None
                     )
-                    result.tags.update(tags)
-                    journal.append(keys[i], result)
-                    results[i] = result
-                    notify(result)
+                    for n, i in enumerate(remaining):
+                        if stop.requested:
+                            interrupted = stop.reason
+                        elif (
+                            deadline_at is not None
+                            and time.monotonic() >= deadline_at
+                        ):
+                            interrupted = "deadline"
+                        if interrupted:
+                            rec.event(
+                                "campaign.interrupted",
+                                reason=interrupted,
+                                dropped_cells=len(remaining) - n,
+                            )
+                            bus.publish(
+                                "campaign.interrupted",
+                                reason=interrupted,
+                                dropped_cells=len(remaining) - n,
+                            )
+                            logger.warning(
+                                "campaign interrupted (%s): %d cells not run",
+                                interrupted, len(remaining) - n,
+                            )
+                            break
+                        box, command, tags = parsed[i]
+                        bus.publish(
+                            "cell.dispatched",
+                            worker=0,
+                            cell_id=f"cell-{i}",
+                            seq=i,
+                            attempt=0,
+                        )
+                        if reporter is not None:
+                            reporter.begin_cell(f"cell-{i}")
+                        result = run_cell_guarded(
+                            system, box, command, settings, f"cell-{i}"
+                        )
+                        result.tags.update(tags)
+                        if reporter is not None:
+                            reporter.end_cell()
+                        bus.publish(
+                            "cell.finished",
+                            worker=0,
+                            cell_id=f"cell-{i}",
+                            seq=i,
+                            verdict=result.verdict.value,
+                            verdict_class=result.verdict_class(),
+                            elapsed=result.elapsed_seconds,
+                        )
+                        journal.append(keys[i], result)
+                        results[i] = result
+                        notify(result)
+            finally:
+                if reporter is not None:
+                    reporter.stop()
         elif remaining:
             sub_tasks = [
                 (f"cell-{i}", parsed[i][0], parsed[i][1], parsed[i][2])
@@ -257,4 +315,11 @@ def verify_partition_checkpointed(
     report.settings_summary["journal"] = str(journal_path)
     if rec.enabled:
         report.metrics = rec.metrics.snapshot()
+    bus.publish(
+        "campaign.finished",
+        interrupted=interrupted,
+        verdicts=report.verdict_counts(),
+        coverage=report.coverage_percent(),
+        wall_seconds=report.wall_seconds,
+    )
     return report

@@ -52,6 +52,25 @@ class CellResult:
         (budget) verdict. ``tags["failure"]`` carries the reason."""
         return self.verdict in (Verdict.ABORTED, Verdict.TIMED_OUT)
 
+    def verdict_class(self) -> str:
+        """``proved | witnessed | aborted | timed-out | unproved`` —
+        the rolling-count classification of this cell's whole
+        refinement tree, shared by :class:`repro.obs.CampaignProgress`,
+        the run ledger and the live telemetry snapshot: *proved* when
+        the full volume is covered, *witnessed* when any leaf recorded
+        a concrete counterexample, *aborted*/*timed-out* when the
+        supervised runner quarantined a leaf, else *unproved*."""
+        if self.coverage_fraction() >= 1.0:
+            return "proved"
+        leaves = self.leaves()
+        if any("witness" in leaf.tags for leaf in leaves):
+            return "witnessed"
+        if any(leaf.verdict is Verdict.ABORTED for leaf in leaves):
+            return "aborted"
+        if any(leaf.verdict is Verdict.TIMED_OUT for leaf in leaves):
+            return "timed-out"
+        return "unproved"
+
     def coverage_fraction(self) -> float:
         """Fraction of this cell's volume proved safe, per the paper's
         weighting (each refinement level divides the weight by the
@@ -147,13 +166,10 @@ class VerificationReport:
         return 100.0 * sum(c.coverage_fraction() for c in self.cells) / len(self.cells)
 
     def verdict_counts(self) -> dict[str, int]:
-        """Rolling verdict counts over top-level cells, with the same
-        semantics as :class:`repro.obs.CampaignProgress`: a cell is
-        *proved* when its whole volume is covered, *witnessed* when a
-        concrete counterexample was recorded anywhere in its refinement
-        tree, *aborted*/*timed-out* when the supervised runner
-        quarantined it (crash / wall-clock budget), otherwise
-        *unproved*. Feeds the run ledger."""
+        """Rolling verdict counts over top-level cells, classified by
+        :meth:`CellResult.verdict_class` (the same semantics as
+        :class:`repro.obs.CampaignProgress` and the live telemetry
+        snapshot). Feeds the run ledger."""
         counts = {
             "proved": 0,
             "unproved": 0,
@@ -163,17 +179,7 @@ class VerificationReport:
             "total": len(self.cells),
         }
         for cell in self.cells:
-            leaves = cell.leaves()
-            if cell.coverage_fraction() >= 1.0:
-                counts["proved"] += 1
-            elif any("witness" in leaf.tags for leaf in leaves):
-                counts["witnessed"] += 1
-            elif any(leaf.verdict is Verdict.ABORTED for leaf in leaves):
-                counts["aborted"] += 1
-            elif any(leaf.verdict is Verdict.TIMED_OUT for leaf in leaves):
-                counts["timed-out"] += 1
-            else:
-                counts["unproved"] += 1
+            counts[cell.verdict_class()] += 1
         return counts
 
     def quarantined_cells(self) -> list[CellResult]:

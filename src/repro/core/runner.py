@@ -15,6 +15,7 @@ partial report.
 from __future__ import annotations
 
 import logging
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
@@ -23,6 +24,7 @@ import numpy as np
 
 from ..intervals import Box
 from ..obs import get_recorder
+from ..obs.live import HeartbeatReporter, get_bus
 from .partition import RefinementPolicy
 from .reach import ReachSettings, Verdict, reach_from_box
 from .result import CellResult, VerificationReport
@@ -252,35 +254,77 @@ def verify_partition(
         tasks.append((f"cell-{i}", box, command, tags))
 
     rec = get_recorder()
+    bus = get_bus()
+    bus.publish(
+        "campaign.started",
+        total=len(tasks),
+        workers=settings.workers,
+        pid=os.getpid(),
+    )
     interrupted: str | None = None
     results: list[CellResult]
     if settings.workers == 1:
         system = system_factory()
         results = []
-        with trap_shutdown_signals() as stop:
-            deadline_at = (
-                time.monotonic() + settings.deadline if settings.deadline else None
-            )
-            for i, (cell_id, box, command, tags) in enumerate(tasks):
-                if stop.requested:
-                    interrupted = stop.reason
-                elif deadline_at is not None and time.monotonic() >= deadline_at:
-                    interrupted = "deadline"
-                if interrupted:
-                    rec.event(
-                        "campaign.interrupted",
-                        reason=interrupted,
-                        dropped_cells=len(tasks) - i,
+        # The serial driver is its own "worker 0": a heartbeat thread
+        # beats from this process so stall detection (`repro watch`)
+        # works for single-worker campaigns too.
+        reporter = None
+        if bus.enabled:
+            bus.publish("worker.ready", worker=0, pid=os.getpid())
+            reporter = HeartbeatReporter(
+                lambda payload: bus.publish("worker.heartbeat", worker=0, **payload),
+                bus.heartbeat_interval or 1.0,
+            ).start()
+        try:
+            with trap_shutdown_signals() as stop:
+                deadline_at = (
+                    time.monotonic() + settings.deadline if settings.deadline else None
+                )
+                for i, (cell_id, box, command, tags) in enumerate(tasks):
+                    if stop.requested:
+                        interrupted = stop.reason
+                    elif deadline_at is not None and time.monotonic() >= deadline_at:
+                        interrupted = "deadline"
+                    if interrupted:
+                        rec.event(
+                            "campaign.interrupted",
+                            reason=interrupted,
+                            dropped_cells=len(tasks) - i,
+                        )
+                        bus.publish(
+                            "campaign.interrupted",
+                            reason=interrupted,
+                            dropped_cells=len(tasks) - i,
+                        )
+                        logger.warning(
+                            "campaign interrupted (%s): %d cells not run",
+                            interrupted, len(tasks) - i,
+                        )
+                        break
+                    bus.publish(
+                        "cell.dispatched", worker=0, cell_id=cell_id, seq=i, attempt=0
                     )
-                    logger.warning(
-                        "campaign interrupted (%s): %d cells not run",
-                        interrupted, len(tasks) - i,
+                    if reporter is not None:
+                        reporter.begin_cell(cell_id)
+                    result = run_cell_guarded(system, box, command, settings, cell_id)
+                    result.tags.update(tags)
+                    if reporter is not None:
+                        reporter.end_cell()
+                    bus.publish(
+                        "cell.finished",
+                        worker=0,
+                        cell_id=cell_id,
+                        seq=i,
+                        verdict=result.verdict.value,
+                        verdict_class=result.verdict_class(),
+                        elapsed=result.elapsed_seconds,
                     )
-                    break
-                result = run_cell_guarded(system, box, command, settings, cell_id)
-                result.tags.update(tags)
-                results.append(result)
-                _notify_progress(progress, i + 1, len(tasks), result)
+                    results.append(result)
+                    _notify_progress(progress, i + 1, len(tasks), result)
+        finally:
+            if reporter is not None:
+                reporter.stop()
     else:
         done = 0
 
@@ -299,4 +343,11 @@ def verify_partition(
     report.settings_summary = _settings_summary(settings, interrupted)
     if rec.enabled:
         report.metrics = rec.metrics.snapshot()
+    bus.publish(
+        "campaign.finished",
+        interrupted=interrupted,
+        verdicts=report.verdict_counts(),
+        coverage=report.coverage_percent(),
+        wall_seconds=report.wall_seconds,
+    )
     return report

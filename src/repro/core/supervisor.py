@@ -48,6 +48,8 @@ from pathlib import Path
 from typing import Callable, Iterator, Sequence
 
 from ..obs import Recorder, get_recorder, merge_traces, set_recorder, worker_trace_path
+from ..obs.live import HeartbeatReporter, get_bus
+from ..obs.live import set_bus as set_live_bus
 from ..testing.faults import get_fault_injector
 from .reach import Verdict
 from .result import CellResult
@@ -292,11 +294,16 @@ def _worker_main(
     settings,
     parent_trace: str | None,
     observe: bool,
+    heartbeat: float | None = None,
 ) -> None:
     # The parent owns shutdown: a terminal Ctrl-C lands on the whole
     # process group, so workers ignore SIGINT and let the supervisor
     # drain them.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # The forked child inherits the parent's live telemetry bus, whose
+    # subscribers hold parent-owned file handles and server threads:
+    # drop it. Worker liveness flows back through the pipe instead.
+    set_live_bus(None)
     # The forked child inherits the parent's recorder (and its open
     # trace file descriptor, which must not be shared): install a fresh
     # per-worker recorder writing to its own JSONL file.
@@ -306,16 +313,30 @@ def _worker_main(
         get_recorder().event("worker.start", worker=worker_id, pid=os.getpid())
     else:
         set_recorder(None)
+
+    # The heartbeat thread and the main loop share the pipe; pickling
+    # two messages concurrently onto one fd would interleave them.
+    send_lock = threading.Lock()
+
+    def send(message) -> None:
+        with send_lock:
+            conn.send(message)
+
     try:
         system = system_factory()
     except BaseException as exc:  # surfaced as a clear parent-side RuntimeError
         try:
-            conn.send(("init_error", worker_id, f"{type(exc).__name__}: {exc}"))
+            send(("init_error", worker_id, f"{type(exc).__name__}: {exc}"))
         except OSError:
             pass
         conn.close()
         return
-    conn.send(("ready", worker_id, os.getpid()))
+    send(("ready", worker_id, os.getpid()))
+    reporter = None
+    if heartbeat:
+        reporter = HeartbeatReporter(
+            lambda payload: send(("heartbeat", worker_id, payload)), heartbeat
+        ).start()
     injector = get_fault_injector()
     rec = get_recorder()
     while True:
@@ -326,10 +347,14 @@ def _worker_main(
         if message is None:
             break
         seq, cell_id, box, command, tags, attempt = message
+        if reporter is not None:
+            reporter.begin_cell(cell_id)
         if injector is not None:
             injector.on_worker_cell(cell_id, attempt)
         result = run_cell_guarded(system, box, command, settings, cell_id, attempt)
         result.tags.update(tags)
+        if reporter is not None:
+            reporter.end_cell()
         delta = None
         if rec.enabled:
             rec.flush()
@@ -340,9 +365,11 @@ def _worker_main(
             if injector is not None:
                 delta = injector.corrupt_metrics_payload(cell_id, attempt, delta)
         try:
-            conn.send(("result", worker_id, seq, result, delta))
+            send(("result", worker_id, seq, result, delta))
         except OSError:
             break
+    if reporter is not None:
+        reporter.stop()
     if rec.enabled:
         rec.flush()
     conn.close()
@@ -428,6 +455,7 @@ def run_supervised(
     fails: that is a configuration error, not a transient fault.
     """
     rec = get_recorder()
+    bus = get_bus()
     outcome = SupervisorOutcome()
     total = len(tasks)
     if total == 0:
@@ -437,6 +465,7 @@ def run_supervised(
     ctx = multiprocessing.get_context("fork")
     pool_size = min(settings.workers, total)
     hard_budget = _hard_kill_budget(settings)
+    heartbeat = bus.heartbeat_interval if bus.enabled else None
 
     pending: deque[int] = deque(range(total))
     retry_heap: list[tuple[float, int]] = []  # (due monotonic time, seq)
@@ -453,13 +482,17 @@ def run_supervised(
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         proc = ctx.Process(
             target=_worker_main,
-            args=(wid, child_conn, system_factory, settings, parent_trace, rec.enabled),
+            args=(
+                wid, child_conn, system_factory, settings, parent_trace,
+                rec.enabled, heartbeat,
+            ),
             name=f"repro-worker-{wid}",
             daemon=True,
         )
         proc.start()
         child_conn.close()  # the child holds its own copy; EOF now means death
         workers[wid] = _WorkerHandle(id=wid, proc=proc, conn=parent_conn)
+        bus.publish("worker.spawned", worker=wid)
 
     def finish(seq: int, result: CellResult) -> None:
         outcome.results[seq] = result
@@ -482,6 +515,21 @@ def run_supervised(
             if verdict is Verdict.ABORTED
             else "runner.cells_timed_out"
         )
+        bus.publish(
+            "cell.quarantined",
+            cell_id=cell_id,
+            verdict=verdict.value,
+            reason=reason.get("kind"),
+            attempts=dispatches,
+        )
+        bus.publish(
+            "cell.finished",
+            cell_id=cell_id,
+            seq=seq,
+            verdict=verdict.value,
+            verdict_class=result.verdict_class(),
+            elapsed=result.elapsed_seconds,
+        )
         finish(seq, result)
 
     def handle_crash(seq: int, worker: _WorkerHandle) -> None:
@@ -496,6 +544,13 @@ def run_supervised(
             cell_id=cell_id,
             attempt=attempts[seq],
         )
+        bus.publish(
+            "worker.crash",
+            worker=worker.id,
+            exitcode=exitcode,
+            cell_id=cell_id,
+            attempt=attempts[seq],
+        )
         if attempts[seq] <= settings.max_retries:
             outcome.retries += 1
             rec.inc("runner.cell_retries")
@@ -503,6 +558,13 @@ def run_supervised(
             logger.warning(
                 "worker %d died (exit %s) on %s; retry %d/%d in %.2gs",
                 worker.id, exitcode, cell_id, attempts[seq], settings.max_retries, delay,
+            )
+            bus.publish(
+                "cell.retried",
+                cell_id=cell_id,
+                seq=seq,
+                attempt=attempts[seq],
+                delay=delay,
             )
             heapq.heappush(retry_heap, (time.monotonic() + delay, seq))
         else:
@@ -522,6 +584,9 @@ def run_supervised(
         kind = message[0]
         if kind == "ready":
             worker.ready = True
+            bus.publish("worker.ready", worker=worker.id, pid=message[2])
+        elif kind == "heartbeat":
+            bus.publish("worker.heartbeat", worker=worker.id, **message[2])
         elif kind == "init_error":
             fatal = RuntimeError(
                 f"worker {message[1]} could not build the system: "
@@ -530,6 +595,16 @@ def run_supervised(
         elif kind == "result":
             _, _, seq, result, delta = message
             worker.current = None
+            bus.publish(
+                "cell.finished",
+                worker=worker.id,
+                cell_id=result.cell_id,
+                seq=seq,
+                verdict=result.verdict.value,
+                verdict_class=result.verdict_class(),
+                elapsed=result.elapsed_seconds,
+                attempts=result.attempts,
+            )
             if delta is not None and rec.enabled:
                 try:
                     rec.metrics.merge_snapshot(delta)
@@ -575,6 +650,11 @@ def run_supervised(
                             reason=outcome.interrupted,
                             dropped_cells=dropped,
                         )
+                        bus.publish(
+                            "campaign.interrupted",
+                            reason=outcome.interrupted,
+                            dropped_cells=dropped,
+                        )
                         logger.warning(
                             "campaign interrupted (%s): %d cells not dispatched; "
                             "draining %d in-flight",
@@ -604,6 +684,13 @@ def run_supervised(
                         pending.appendleft(seq)  # the liveness sweep reaps it
                         continue
                     worker.current = (seq, now + hard_budget if hard_budget else None)
+                    bus.publish(
+                        "cell.dispatched",
+                        worker=worker.id,
+                        cell_id=cell_id,
+                        seq=seq,
+                        attempt=attempts.get(seq, 0),
+                    )
 
                 # -- wait for worker messages -------------------------
                 conns = {w.conn: w for w in workers.values()}
@@ -658,6 +745,12 @@ def run_supervised(
                         "worker.killed", worker=worker.id, cell_id=cell_id,
                         budget_seconds=settings.cell_timeout,
                     )
+                    bus.publish(
+                        "worker.killed",
+                        worker=worker.id,
+                        cell_id=cell_id,
+                        budget_seconds=settings.cell_timeout,
+                    )
                     worker.current = None
                     _terminate(worker.proc)
                     quarantine(
@@ -682,6 +775,7 @@ def run_supervised(
                         outcome.respawns += 1
                         rec.inc("runner.worker_respawns")
                         rec.event("worker.respawn")
+                        bus.publish("worker.respawn")
         finally:
             for worker in workers.values():
                 try:

@@ -38,6 +38,28 @@ from .ledger import (
     record_from_report,
     record_run,
 )
+from .live import (
+    NULL_BUS,
+    CampaignSnapshot,
+    HeartbeatReporter,
+    LiveStatusWriter,
+    LiveTelemetry,
+    MetricsServer,
+    NullTelemetryBus,
+    TelemetryBus,
+    TelemetrySettings,
+    get_bus,
+    list_live_runs,
+    live_root,
+    prune_stale_runs,
+    read_status,
+    render_prometheus,
+    render_watch,
+    set_bus,
+    start_live_telemetry,
+    use_bus,
+    write_status_atomic,
+)
 from .metrics import MetricsRegistry, TimingHistogram
 from .progress import CampaignProgress, format_eta
 from .regression import (
@@ -71,28 +93,42 @@ from .trace import merge_traces, read_trace, write_events
 
 __all__ = [
     "CampaignProgress",
+    "CampaignSnapshot",
     "Comparison",
+    "HeartbeatReporter",
+    "LiveStatusWriter",
+    "LiveTelemetry",
     "MetricsRegistry",
+    "MetricsServer",
+    "NULL_BUS",
     "NULL_RECORDER",
     "NullRecorder",
+    "NullTelemetryBus",
     "PHASE_SPANS",
     "PhaseDelta",
     "Recorder",
     "RunRecord",
+    "TelemetryBus",
+    "TelemetrySettings",
     "TimingHistogram",
     "TraceSummary",
     "compare_records",
     "format_eta",
+    "get_bus",
     "get_recorder",
     "git_revision",
     "latest_run",
     "ledger_root",
+    "list_live_runs",
     "list_runs",
+    "live_root",
     "load_run",
     "merge_traces",
     "new_run_id",
     "phases_from_metrics",
+    "prune_stale_runs",
     "query_runs",
+    "read_status",
     "read_trace",
     "record_from_report",
     "record_run",
@@ -100,11 +136,17 @@ __all__ = [
     "render_flamegraph_svg",
     "render_html_report",
     "render_phase_share_svg",
+    "render_prometheus",
     "render_stats",
+    "render_watch",
+    "set_bus",
     "set_recorder",
+    "start_live_telemetry",
     "summarize_trace",
     "summarize_trace_file",
+    "use_bus",
     "use_recorder",
     "worker_trace_path",
     "write_events",
+    "write_status_atomic",
 ]

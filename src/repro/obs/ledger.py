@@ -169,13 +169,16 @@ def record_from_report(
     git_sha: str | None = None,
     extra: dict | None = None,
     started_at: float | None = None,
+    run_id: str | None = None,
 ) -> RunRecord:
     """Build a :class:`RunRecord` from a
     :class:`~repro.core.result.VerificationReport` (the runner hookup).
 
     Phase percentiles come from ``report.metrics`` (populated whenever a
     live recorder was installed); verdict counts and coverage from the
-    report itself.
+    report itself. Pass ``run_id`` to reuse an id minted before the run
+    started (the CLI does, so the live-telemetry directory under
+    ``.repro/live/`` and the ledger record share one name).
     """
     started_at = time.time() if started_at is None else started_at
     metrics = getattr(report, "metrics", {}) or {}
@@ -183,7 +186,7 @@ def record_from_report(
     if wall is None:
         wall = getattr(report, "wall_seconds", 0.0) or report.total_elapsed()
     record = RunRecord(
-        run_id=new_run_id(kind, started_at),
+        run_id=run_id if run_id is not None else new_run_id(kind, started_at),
         kind=kind,
         started_at=started_at,
         wall_seconds=float(wall),

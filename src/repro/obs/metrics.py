@@ -167,6 +167,38 @@ class MetricsRegistry:
     def merge(self, other: "MetricsRegistry") -> None:
         self.merge_snapshot(other.snapshot())
 
+    # -- exposition ----------------------------------------------------
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """The registry in Prometheus text exposition format.
+
+        Counters become ``<prefix>_<name>_total``, gauges plain gauges,
+        histograms summaries with p50/p95 quantiles — the internal-
+        metrics half of the live ``--metrics-port`` endpoint
+        (:class:`repro.obs.live.MetricsServer`).
+        """
+        def sanitize(name: str) -> str:
+            return f"{prefix}_" + "".join(
+                c if c.isalnum() or c == "_" else "_" for c in name
+            )
+
+        lines: list[str] = []
+        for name, value in sorted(self.counters.items()):
+            pname = sanitize(name) + "_total"
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {value:g}")
+        for name, value in sorted(self.gauges.items()):
+            pname = sanitize(name)
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {value:g}")
+        for name, hist in sorted(self.histograms.items()):
+            pname = sanitize(name)
+            lines.append(f"# TYPE {pname} summary")
+            lines.append(f'{pname}{{quantile="0.5"}} {hist.p50:g}')
+            lines.append(f'{pname}{{quantile="0.95"}} {hist.p95:g}')
+            lines.append(f"{pname}_sum {hist.total:g}")
+            lines.append(f"{pname}_count {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
     # -- persistence ---------------------------------------------------
     def to_json(self, path: str | Path) -> None:
         with open(path, "w") as out:

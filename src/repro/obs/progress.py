@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import IO, TYPE_CHECKING
+from typing import IO, TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.result import CellResult
@@ -51,6 +51,7 @@ class CampaignProgress:
         stream: IO[str] | None = sys.stderr,
         min_interval: float = 1.0,
         clock=time.monotonic,
+        stalled_provider: Callable[[], int] | None = None,
     ):
         self.stream = stream
         self.min_interval = min_interval
@@ -64,28 +65,46 @@ class CampaignProgress:
         self.witnessed = 0
         self.aborted = 0
         self.timed_out = 0
+        #: When live telemetry is on, the number of stalled workers
+        #: (busy but heartbeat-silent) to surface in the progress line —
+        #: typically ``CampaignSnapshot.stalled_count``. ``None`` keeps
+        #: the line unchanged.
+        self.stalled_provider = stalled_provider
 
     # -- feeding -------------------------------------------------------
     def update(self, done: int, total: int, result: "CellResult | None" = None) -> None:
         self.done = done
         self.total = total
         if result is not None:
-            # Count the whole refinement tree's leaves so deep splits
-            # show up in the rolling verdicts, not just top-level cells.
-            # (getattr-based: callers may feed duck-typed results that
-            # only provide coverage_fraction and tags.)
-            leaves = result.leaves() if hasattr(result, "leaves") else [result]
-            verdicts = {
-                getattr(getattr(leaf, "verdict", None), "value", None)
-                for leaf in leaves
-            }
-            if result.coverage_fraction() >= 1.0:
+            classify = getattr(result, "verdict_class", None)
+            if classify is not None:
+                cls = classify()
+            else:
+                # Duck-typed fallback: callers may feed results that
+                # only provide coverage_fraction and tags, so count the
+                # whole refinement tree's leaves by hand.
+                leaves = result.leaves() if hasattr(result, "leaves") else [result]
+                verdicts = {
+                    getattr(getattr(leaf, "verdict", None), "value", None)
+                    for leaf in leaves
+                }
+                if result.coverage_fraction() >= 1.0:
+                    cls = "proved"
+                elif any("witness" in getattr(leaf, "tags", {}) for leaf in leaves):
+                    cls = "witnessed"
+                elif "aborted" in verdicts:
+                    cls = "aborted"
+                elif "timed-out" in verdicts:
+                    cls = "timed-out"
+                else:
+                    cls = "unproved"
+            if cls == "proved":
                 self.proved += 1
-            elif any("witness" in getattr(leaf, "tags", {}) for leaf in leaves):
+            elif cls == "witnessed":
                 self.witnessed += 1
-            elif "aborted" in verdicts:
+            elif cls == "aborted":
                 self.aborted += 1
-            elif "timed-out" in verdicts:
+            elif cls == "timed-out":
                 self.timed_out += 1
             else:
                 self.unproved += 1
@@ -137,4 +156,13 @@ class CampaignProgress:
         if self.timed_out:
             verdicts += f" timed-out {self.timed_out}"
         parts.append(verdicts)
+        # Live stall detection (heartbeat-silent busy workers) shows up
+        # in the one-line output too, so non-`watch` users see it.
+        if self.stalled_provider is not None:
+            try:
+                stalled = int(self.stalled_provider())
+            except Exception:
+                stalled = 0
+            if stalled:
+                parts.append(f"{stalled} stalled")
         return " | ".join(parts)

@@ -16,6 +16,11 @@ fault injection at the four seams:
 * ``slow:<cell>[:<seconds>]`` — an interruptible sleep (default 1 s)
   inside the cell's budget guard, in pool workers and the serial
   driver alike. Exercises the in-process ``cell_timeout`` guard.
+* ``stall:<cell>[:<seconds>]`` — the worker's *heartbeat thread* goes
+  silent for ``<seconds>`` (default 3600 s) starting when ``<cell>``
+  is handed to it, while the computation itself proceeds normally.
+  Exercises live-telemetry stall detection (``repro watch``), which
+  must distinguish "alive but mute" from "making progress".
 * ``torn-journal[:<nth>]`` — the ``nth`` checkpoint-journal append
   (1-based, default 1) is truncated mid-line with no newline, like a
   power loss mid-write. Exercises the tolerant journal loader.
@@ -45,7 +50,7 @@ FAULTS_ENV = "REPRO_FAULTS"
 CRASH_EXIT_CODE = 43
 
 #: Fault kinds that target a specific cell attempt inside a worker.
-_WORKER_KINDS = ("crash", "hang", "slow")
+_WORKER_KINDS = ("crash", "hang", "slow", "stall")
 _ALL_KINDS = _WORKER_KINDS + ("torn-journal", "corrupt-metrics")
 
 
@@ -90,11 +95,11 @@ def parse_faults(spec: str) -> list[FaultSpec]:
                 if len(parts) == 3:
                     attempts = -1 if parts[2] == "*" else int(parts[2])
                 faults.append(FaultSpec("crash", cell_id=parts[1], attempts=attempts))
-            elif kind in ("hang", "slow"):
+            elif kind in ("hang", "slow", "stall"):
                 if len(parts) < 2 or len(parts) > 3:
                     raise FaultSpecError(f"{token!r}: expected {kind}:<cell>[:<seconds>]")
                 seconds = float(parts[2]) if len(parts) == 3 else (
-                    3600.0 if kind == "hang" else 1.0
+                    1.0 if kind == "slow" else 3600.0
                 )
                 faults.append(FaultSpec(kind, cell_id=parts[1], seconds=seconds))
             elif kind == "torn-journal":
@@ -127,6 +132,10 @@ class FaultInjector:
     def __init__(self, specs: Sequence[FaultSpec]):
         self.specs = list(specs)
         self._journal_appends = 0
+        #: Monotonic deadline until which heartbeats are suppressed
+        #: (``stall`` fault). Per-process state: each fork worker's
+        #: injector arms its own window when it reaches the target cell.
+        self._stall_until = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultInjector({self.specs!r})"
@@ -157,9 +166,22 @@ class FaultInjector:
         """Called inside the cell's budget guard (worker *and* serial
         paths): a ``slow`` fault sleeps interruptibly here, so the
         in-process ``cell_timeout`` guard is what cuts it off."""
+        stall = self._match("stall", cell_id)
+        if stall is not None and attempt == 0:
+            # Arm the heartbeat blackout *before* any slow sleep, so
+            # `stall + slow` composes into "computing but mute". The
+            # computation itself is NOT slowed by `stall` — only the
+            # reporter thread goes quiet (it polls heartbeats_stalled()
+            # before each beat).
+            self._stall_until = time.monotonic() + stall.seconds
         slow = self._match("slow", cell_id)
         if slow is not None and attempt == 0:
             time.sleep(slow.seconds)
+
+    def heartbeats_stalled(self) -> bool:
+        """True while a ``stall`` fault's blackout window is open —
+        polled by the live-telemetry heartbeat thread before each beat."""
+        return time.monotonic() < self._stall_until
 
     def corrupt_metrics_payload(self, cell_id: str, attempt: int, delta):
         """Replace the metrics delta shipped to the parent with garbage

@@ -12,8 +12,10 @@ import pytest
 
 os.environ.setdefault("REPRO_CACHE", str(Path(__file__).resolve().parents[1] / ".cache"))
 # Keep auto-appended run-ledger records (repro verify, benchmarks) out
-# of the repository's .repro/runs while tests run.
+# of the repository's .repro/runs while tests run, and live-telemetry
+# status directories out of .repro/live likewise.
 os.environ.setdefault("REPRO_LEDGER", tempfile.mkdtemp(prefix="repro-test-ledger-"))
+os.environ.setdefault("REPRO_LIVE", tempfile.mkdtemp(prefix="repro-test-live-"))
 
 
 @pytest.fixture(scope="session")

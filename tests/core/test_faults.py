@@ -50,6 +50,12 @@ class TestSpecParsing:
         assert slow.seconds == 1.0
         assert parse_faults("slow:c1:0.25")[0].seconds == 0.25
 
+    def test_stall_variants(self):
+        stall = parse_faults("stall:c2")[0]
+        assert stall.kind == "stall" and stall.cell_id == "c2"
+        assert stall.seconds == 3600.0
+        assert parse_faults("stall:c2:0.5")[0].seconds == 0.5
+
     def test_parent_side_kinds(self):
         torn, corrupt = parse_faults("torn-journal:3,corrupt-metrics")
         assert torn.nth == 3

@@ -235,3 +235,67 @@ class TestSupervisedPool:
     def test_empty_task_list(self):
         outcome = run_supervised(make_system, [], RunnerSettings(workers=2))
         assert outcome.results == {}
+
+
+class TestPoolTelemetry:
+    """Bus plumbing through the supervised pool: worker heartbeats
+    travel the result pipe, and the supervisor republishes lifecycle
+    events onto the ambient bus."""
+
+    def collect(self, faults=None, **settings_kwargs):
+        from repro.obs import TelemetryBus, use_bus
+
+        bus = TelemetryBus(heartbeat_interval=0.05)
+        events = []
+        bus.subscribe(events.append)
+        settings = RunnerSettings(workers=2, **settings_kwargs)
+        tasks = [
+            (f"cell-{i}", box, 1, {})
+            for i, box in enumerate(grid_partition(Box([1.6], [2.4]), [4]))
+        ]
+        with use_bus(bus):
+            if faults:
+                with injected_faults(faults):
+                    outcome = run_supervised(make_system, tasks, settings)
+            else:
+                outcome = run_supervised(make_system, tasks, settings)
+        return outcome, events
+
+    def test_lifecycle_and_heartbeat_events_published(self):
+        import os
+
+        outcome, events = self.collect(faults="slow:cell-0:0.2")
+        kinds = [e["kind"] for e in events]
+        assert kinds.count("worker.spawned") == 2
+        assert kinds.count("worker.ready") == 2
+        assert kinds.count("cell.dispatched") == 4
+        assert kinds.count("cell.finished") == 4
+        beats = [e for e in events if e["kind"] == "worker.heartbeat"]
+        assert beats, "no heartbeats crossed the worker pipe"
+        beat = beats[0]
+        # Worker-originated: the PID is a child's, not the parent's.
+        assert beat["pid"] != os.getpid() and beat["pid"] > 0
+        assert {"rss_bytes", "cells_completed", "cell_elapsed"} <= set(beat)
+        finished = [e for e in events if e["kind"] == "cell.finished"]
+        assert all(e["verdict_class"] == "proved" for e in finished)
+        assert len(outcome.results) == 4
+
+    def test_crash_publishes_retry_then_quarantine(self):
+        outcome, events = self.collect(
+            faults="crash:cell-1:*", max_retries=1, retry_backoff=0.01
+        )
+        kinds = [e["kind"] for e in events]
+        assert "worker.crash" in kinds
+        assert "worker.respawn" in kinds
+        assert "cell.retried" in kinds
+        quarantined = [e for e in events if e["kind"] == "cell.quarantined"]
+        assert len(quarantined) == 1
+        assert quarantined[0]["cell_id"] == "cell-1"
+        assert quarantined[0]["reason"] == "crash"
+
+    def test_no_bus_no_heartbeat_threads(self):
+        """Without an enabled bus the pool passes heartbeat=None to the
+        workers — telemetry must cost nothing when off."""
+        tasks = [("cell-0", Box([2.0], [2.2]), 1, {})]
+        outcome = run_supervised(make_system, tasks, RunnerSettings(workers=2))
+        assert outcome.results[0].proved

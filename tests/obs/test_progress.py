@@ -142,3 +142,27 @@ class TestRendering:
         clock.advance(2.0)
         progress.update(4, 4)
         assert "ETA" not in progress.render()
+
+
+class TestStalledMarker:
+    def test_stalled_count_shown_when_nonzero(self):
+        progress = CampaignProgress(stream=None, stalled_provider=lambda: 2)
+        progress.update(1, 10)
+        assert "2 stalled" in progress.render()
+
+    def test_hidden_when_zero_or_absent(self):
+        quiet = CampaignProgress(stream=None, stalled_provider=lambda: 0)
+        quiet.update(1, 10)
+        assert "stalled" not in quiet.render()
+        plain = CampaignProgress(stream=None)
+        plain.update(1, 10)
+        assert "stalled" not in plain.render()
+
+    def test_raising_provider_is_swallowed(self):
+        def broken():
+            raise RuntimeError("snapshot gone")
+
+        progress = CampaignProgress(stream=None, stalled_provider=broken)
+        progress.update(1, 10)
+        line = progress.render()  # must not raise
+        assert "stalled" not in line
