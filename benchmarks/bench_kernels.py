@@ -1,0 +1,126 @@
+"""K1 — SoA interval kernels: batched vs scalar on the three hot paths.
+
+The lockstep reachability driver spends its time in three kernels:
+the validated interval Taylor step (``Plant.flow_batch``), symbolic NN
+propagation (``SymbolicPropagator.output_bounds_batch`` behind
+``Controller.execute_abstract_batch``), and the reach-set join
+(``resize`` + ``Box.hull``). Each bench here runs the batched kernel
+and its scalar per-row equivalent over the same inputs, records both
+timings, and asserts bitwise-identical outputs — the contract the
+whole ``batch_cells`` mode rests on.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ReachSettings
+from repro.core.symbolic import SymbolicSet, SymbolicState, resize
+from repro.intervals import Box, BoxBatch
+
+
+def _wave_boxes(tiny_system, rows: int) -> tuple[list[Box], np.ndarray]:
+    """A representative wave: perturbed copies of real initial cells."""
+    from repro.acasxu import initial_cells
+
+    cells = initial_cells(8, 3)
+    boxes: list[Box] = []
+    commands: list[int] = []
+    for r in range(rows):
+        box, command, _tags = cells[r % len(cells)]
+        # Deterministic wobble so rows are distinct (memo can't collapse
+        # them) while staying inside the scenario's plausible region.
+        shift = 1e-3 * (r // len(cells))
+        boxes.append(Box(box.lo + shift, box.hi + shift))
+        commands.append(command)
+    u_rows = np.stack(
+        [tiny_system.commands.values[c] for c in commands]
+    )
+    return boxes, u_rows
+
+
+@pytest.mark.parametrize("rows", [4, 16, 64])
+def test_taylor_step_batch(benchmark, tiny_system, rows):
+    """One control period of validated integration over a whole wave."""
+    settings = ReachSettings(substeps=10, max_symbolic_states=5)
+    boxes, u_rows = _wave_boxes(tiny_system, rows)
+    batch = BoxBatch(
+        np.stack([b.lo for b in boxes]), np.stack([b.hi for b in boxes])
+    )
+    plant = tiny_system.plant
+    t1 = tiny_system.period
+
+    pipes = benchmark(
+        plant.flow_batch, 0.0, t1, batch, u_rows, settings.substeps
+    )
+
+    # Bitwise contract: every row matches the scalar integrator.
+    for r in (0, rows // 2, rows - 1):
+        pipe = plant.flow(0.0, t1, boxes[r], u_rows[r], settings.substeps)
+        scalar_end = pipe.end_box
+        batch_end = pipes.end_box(r)
+        assert scalar_end.lo.tobytes() == batch_end.lo.tobytes()
+        assert scalar_end.hi.tobytes() == batch_end.hi.tobytes()
+    benchmark.extra_info["rows"] = rows
+
+
+@pytest.mark.parametrize("rows", [4, 16, 64])
+def test_nn_propagation_batch(benchmark, tiny_system, rows):
+    """Symbolic bound propagation over a stack of normalized inputs."""
+    boxes, _u = _wave_boxes(tiny_system, rows)
+    controller = tiny_system.controller
+    propagator = controller.propagators[0]
+    x_boxes = [controller.pre.abstract(b) for b in boxes]
+    lo = np.stack([b.lo for b in x_boxes])
+    hi = np.stack([b.hi for b in x_boxes])
+
+    out_lo, out_hi = benchmark(propagator.output_bounds_batch, lo, hi)
+
+    for r in (0, rows - 1):
+        s_lo, s_hi = propagator.output_bounds(x_boxes[r])
+        assert s_lo.tobytes() == out_lo[r].tobytes()
+        assert s_hi.tobytes() == out_hi[r].tobytes()
+    benchmark.extra_info["rows"] = rows
+
+
+@pytest.mark.parametrize("states", [8, 15, 30])
+def test_join_resize(benchmark, tiny_system, states):
+    """Algorithm 2 joins down to Gamma=5 from an oversized symbolic set."""
+    boxes, _u = _wave_boxes(tiny_system, states)
+    base = [
+        SymbolicState(box, i % 3) for i, box in enumerate(boxes)
+    ]
+
+    def run():
+        working = SymbolicSet(list(base))
+        joins = resize(working, 5)
+        return working, joins
+
+    result, joins = benchmark(run)
+    assert len(result) == 5
+    assert joins == states - 5
+    benchmark.extra_info["states"] = states
+    benchmark.extra_info["joins"] = joins
+
+
+def test_controller_execute_batch(benchmark, tiny_system):
+    """End-to-end abstract controller execution over a 24-row wave,
+    including the batched Pre# normalization (hypot + affine)."""
+    boxes, _u = _wave_boxes(tiny_system, 24)
+    commands = [i % 3 for i in range(len(boxes))]
+    controller = tiny_system.controller
+
+    def run():
+        controller._memo.clear()
+        return controller.execute_abstract_batch(boxes, commands)
+
+    batch_out = benchmark(run)
+
+    controller._memo.clear()
+    scalar_out = [
+        controller.execute_abstract(b, c) for b, c in zip(boxes, commands)
+    ]
+    assert batch_out == scalar_out

@@ -28,6 +28,7 @@ from ..intervals import (
     iatan2,
     ihypot,
 )
+from ..intervals.batched import bhypot, bmul, bsub
 from ..nn import Network
 from ..verify import SymbolicPropagator
 from .dynamics import PSI, V_INT, V_OWN, X, Y
@@ -79,6 +80,46 @@ class AcasPre:
             for i in range(5)
         ]
         return Box.from_intervals(normalized)
+
+    def abstract_batch(
+        self, lo: np.ndarray, hi: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``Pre#`` over ``(B, 5)`` box-endpoint arrays at once.
+
+        Bitwise identical to :meth:`abstract` row by row: the hypot and
+        normalization stages run on the batched interval kernels (whose
+        elementwise ops replay the scalar sequence exactly), while the
+        atan2 corner evaluations stay on the scalar :func:`iatan2` —
+        ``np.arctan2`` is *not* bitwise identical to ``math.atan2``, so
+        vectorizing it would change last-ulp corner values.
+        """
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+        if self.mode != "interval":
+            boxes = [self.abstract(Box(lo[r], hi[r])) for r in range(lo.shape[0])]
+            return np.stack([b.lo for b in boxes]), np.stack([b.hi for b in boxes])
+        xlo, xhi = lo[:, X], hi[:, X]
+        ylo, yhi = lo[:, Y], hi[:, Y]
+        rho_lo, rho_hi = bhypot(xlo, xhi, ylo, yhi)
+        count = lo.shape[0]
+        theta_lo = np.empty(count)
+        theta_hi = np.empty(count)
+        for r in range(count):
+            theta = iatan2(
+                Interval(float(-xhi[r]), float(-xlo[r])),
+                Interval(float(ylo[r]), float(yhi[r])),
+            )
+            theta_lo[r] = theta.lo
+            theta_hi[r] = theta.hi
+        raw_lo = np.stack(
+            [rho_lo, theta_lo, lo[:, PSI], lo[:, V_OWN], lo[:, V_INT]], axis=1
+        )
+        raw_hi = np.stack(
+            [rho_hi, theta_hi, hi[:, PSI], hi[:, V_OWN], hi[:, V_INT]], axis=1
+        )
+        shifted_lo, shifted_hi = bsub(raw_lo, raw_hi, INPUT_MEANS, INPUT_MEANS)
+        inv_ranges = 1.0 / INPUT_RANGES
+        return bmul(shifted_lo, shifted_hi, inv_ranges, inv_ranges)
 
     @staticmethod
     def _polar_interval(box: Box) -> tuple[Interval, Interval]:

@@ -33,7 +33,7 @@ import math
 
 import numpy as np
 
-from ..intervals import Box, Interval, icos, isin
+from ..intervals import Box, BoxBatch, Interval, IntervalBatch, icos, isin
 from ..ode import AnalyticFlow, ODESystem
 from ..ode.ops import gcos, gsin
 
@@ -106,6 +106,68 @@ class AcasXuAnalyticFlow(AnalyticFlow):
             y_own = v_own * (sin_ut / turn)
 
         return Box.from_intervals(
+            [
+                x_rot + x_int - x_own,
+                y_rot + y_int - y_own,
+                psi_t,
+                v_own,
+                v_int,
+            ]
+        )
+
+    def flow_box_batch(self, s0: BoxBatch, u_rows: np.ndarray, tau) -> BoxBatch:
+        """Vectorized :meth:`flow_box` over a whole box batch.
+
+        Row ``i`` flows under turn rate ``u_rows[i, 0]``; the kernels in
+        :mod:`repro.intervals.batched` replicate the scalar op sequence
+        exactly, so every row is bitwise identical to the scalar path.
+        Rows with zero turn rate take the scalar limit branch via a
+        masked divisor and a rowwise select.
+        """
+        t = Interval.coerce(tau)
+        count = s0.count
+        turns = np.asarray(u_rows, dtype=float)[:, 0]
+        tb = IntervalBatch.coerce(t, (count,))
+        turn_b = IntervalBatch.point(turns)
+        x0, y0, psi0, v_own, v_int = (s0.column(i) for i in range(STATE_DIM))
+
+        ut = tb * turn_b
+        cos_ut = ut.cos()
+        sin_ut = ut.sin()
+        psi_t = psi0 - ut
+
+        # R(-u t) z0.
+        x_rot = cos_ut * x0 + sin_ut * y0
+        y_rot = -(sin_ut * x0) + cos_ut * y0
+
+        # Intruder straight-line displacement, expressed at time t.
+        sin_psi_t = psi_t.sin()
+        cos_psi_t = psi_t.cos()
+        x_int = -(v_int * tb * sin_psi_t)
+        y_int = v_int * tb * cos_psi_t
+
+        # Ownship displacement: the turn == 0 rows use the straight-line
+        # limit, everything else divides by the (masked) turn rate.
+        zero = turns == 0.0
+        if bool(np.all(zero)):
+            x_own = IntervalBatch.point(np.zeros(count))
+            y_own = v_own * tb
+        else:
+            safe = np.where(zero, 1.0, turns)
+            safe_b = IntervalBatch.point(safe)
+            x_own = v_own * ((1.0 - cos_ut) / safe_b)
+            y_own = v_own * (sin_ut / safe_b)
+            if bool(np.any(zero)):
+                y_straight = v_own * tb
+                x_own = IntervalBatch(
+                    np.where(zero, 0.0, x_own.lo), np.where(zero, 0.0, x_own.hi)
+                )
+                y_own = IntervalBatch(
+                    np.where(zero, y_straight.lo, y_own.lo),
+                    np.where(zero, y_straight.hi, y_own.hi),
+                )
+
+        return BoxBatch.from_columns(
             [
                 x_rot + x_int - x_own,
                 y_rot + y_int - y_own,

@@ -31,7 +31,13 @@ from pathlib import Path
 
 from .model import CheckError
 
-__all__ = ["DEFAULT_INCLUDE", "DEFAULT_EXCLUDE", "Policy", "load_policy"]
+__all__ = [
+    "DEFAULT_INCLUDE",
+    "DEFAULT_EXCLUDE",
+    "DEFAULT_PACKAGE_DISABLE",
+    "Policy",
+    "load_policy",
+]
 
 DEFAULT_INCLUDE = (
     "repro/intervals",
@@ -41,6 +47,12 @@ DEFAULT_INCLUDE = (
 )
 
 DEFAULT_EXCLUDE = ("repro/intervals/rounding.py",)
+
+#: ``repro/intervals/batched.py`` is the sanctioned wrapper module for
+#: batched endpoint arithmetic — S006 exists to funnel raw ufunc math
+#: *into* it, so the rule is off there by default (mirroring how
+#: ``rounding.py`` is excluded outright).
+DEFAULT_PACKAGE_DISABLE = {"repro/intervals/batched.py": ("S006",)}
 
 
 def _segments(pattern: str) -> tuple[str, ...]:
@@ -66,7 +78,9 @@ class Policy:
     include: tuple[str, ...] = DEFAULT_INCLUDE
     exclude: tuple[str, ...] = DEFAULT_EXCLUDE
     #: pattern -> rule codes disabled under that pattern.
-    package_disable: dict = field(default_factory=dict)
+    package_disable: dict = field(
+        default_factory=lambda: dict(DEFAULT_PACKAGE_DISABLE)
+    )
     #: Explicit rule selection (e.g. from ``--select``); None = all.
     select: tuple[str, ...] | None = None
 
@@ -122,8 +136,16 @@ def load_policy(pyproject: str | Path | None = None) -> Policy:
         raise CheckError(f"[tool.repro.soundness] in {path} must be a table")
     include = tuple(table.get("include", DEFAULT_INCLUDE))
     exclude = tuple(table.get("exclude", DEFAULT_EXCLUDE))
-    package_disable = {}
-    for pattern, entry in table.get("package-rules", {}).items():
-        disabled = entry.get("disable", []) if isinstance(entry, dict) else []
-        package_disable[pattern] = tuple(str(code).upper() for code in disabled)
+    rules_table = table.get("package-rules")
+    if rules_table is None:
+        # No table at all: keep the built-in wrapper exemption. An
+        # explicit (even empty) table replaces it, like include/exclude.
+        package_disable = dict(DEFAULT_PACKAGE_DISABLE)
+    else:
+        package_disable = {}
+        for pattern, entry in rules_table.items():
+            disabled = entry.get("disable", []) if isinstance(entry, dict) else []
+            package_disable[pattern] = tuple(
+                str(code).upper() for code in disabled
+            )
     return Policy(include=include, exclude=exclude, package_disable=package_disable)

@@ -1,4 +1,4 @@
-"""Soundness rules S001-S005 (plus the S000 pragma-hygiene rule).
+"""Soundness rules S001-S006 (plus the S000 pragma-hygiene rule).
 
 Every rule is a heuristic *syntactic* check for a violation of the
 directed-rounding discipline documented in ``docs/SOUNDNESS.md``. The
@@ -97,6 +97,30 @@ TRANSCENDENTALS = frozenset(
 
 #: Accumulating reductions that round to nearest internally.
 RAW_ACCUMULATORS = frozenset({"sum", "dot", "prod", "matmul", "fsum", "inner"})
+
+#: Nearest-rounding numpy elementwise ufuncs. Their spelled-out call
+#: form (``np.add(lo, x)``) escapes S001's BinOp check, and on the
+#: batched structure-of-arrays (lo, hi) kernels that call form is the
+#: natural broadcasting idiom — hence its own rule (S006).
+RAW_UFUNCS = frozenset(
+    {
+        "add",
+        "subtract",
+        "multiply",
+        "divide",
+        "true_divide",
+        "square",
+        "reciprocal",
+        "power",
+        "float_power",
+        "einsum",
+        "tensordot",
+        "vdot",
+        "outer",
+        "cumsum",
+        "cumprod",
+    }
+)
 
 ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow, ast.MatMult)
 
@@ -390,12 +414,49 @@ class UnguardedDivision(Rule):
         return False
 
 
+class RawBatchedUfunc(Rule):
+    """S006: spelled-out nearest-mode ufunc on bound-carrying arrays."""
+
+    code = "S006"
+    name = "raw-batched-ufunc"
+    summary = (
+        "nearest-mode numpy ufunc call on (batched) lo/hi arrays; use "
+        "the repro.intervals.batched kernels or wrap the result in "
+        "array_down/array_up"
+    )
+
+    def visit(self, node: ast.AST, ctx: "Context") -> None:
+        if ctx.rounding_depth or not isinstance(node, ast.Call):
+            return
+        name = _call_name(node.func)
+        if name is None or name not in RAW_UFUNCS:
+            return
+        # Same namespace discipline as S002: only ``np.``/``numpy.``
+        # attributes and names imported from numpy, not arbitrary
+        # objects that happen to have an ``.add()``.
+        if isinstance(node.func, ast.Attribute):
+            root = _root_name(node.func)
+            if root not in ("np", "numpy"):
+                return
+        elif isinstance(node.func, ast.Name):
+            if node.func.id not in ctx.numeric_imports:
+                return
+        else:
+            return
+        if not any(is_bound_tainted(arg) for arg in node.args):
+            return
+        ctx.report(
+            self, node, f"raw `{ast.unparse(node.func)}` call on bound arrays"
+        )
+
+
 RULES: tuple[Rule, ...] = (
     RawBoundArithmetic(),
     RawTranscendental(),
     ExactBoundComparison(),
     EndpointMutation(),
     UnguardedDivision(),
+    RawBatchedUfunc(),
 )
 
 #: Codes of the traversal rules plus the engine-level pragma rule S000.

@@ -170,6 +170,24 @@ def cmd_verify(args: argparse.Namespace) -> int:
         recorder = Recorder()
         set_recorder(recorder)
 
+    batch_mode = getattr(args, "batch", "auto")
+    lockstep_ok = (
+        args.workers == 1
+        and args.cell_timeout is None
+        and args.deadline is None
+    )
+    if batch_mode == "cells" and not lockstep_ok:
+        print(
+            "error: --batch cells requires --workers 1 and no "
+            "--cell-timeout/--deadline",
+            file=sys.stderr,
+        )
+        return 2
+    batch_cells = batch_mode == "cells" or (batch_mode == "auto" and lockstep_ok)
+    batch_states = batch_mode == "states" or (
+        batch_mode == "auto" and not lockstep_ok
+    )
+
     config = ExperimentConfig(
         name="cli",
         scenario=_scenario(args.scenario),
@@ -177,13 +195,16 @@ def cmd_verify(args: argparse.Namespace) -> int:
         num_headings=args.headings,
         runner=RunnerSettings(
             reach=ReachSettings(
-                substeps=args.substeps, max_symbolic_states=args.gamma
+                substeps=args.substeps,
+                max_symbolic_states=args.gamma,
+                batch_states=batch_states,
             ),
             refinement=RefinementPolicy(dims=(0, 1, 2), max_depth=args.depth),
             workers=args.workers,
             cell_timeout=args.cell_timeout,
             deadline=args.deadline,
             max_retries=args.max_retries,
+            batch_cells=batch_cells,
         ),
     )
 
@@ -796,6 +817,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=1,
         help="retries for a cell whose worker crashed before it is "
         "quarantined as aborted",
+    )
+    p_verify.add_argument(
+        "--batch", choices=["auto", "cells", "states", "off"], default="auto",
+        help="SoA kernel batching: `cells` runs the whole partition in "
+        "lockstep waves (requires --workers 1 and no wall-clock budgets), "
+        "`states` batches within each cell, `off` forces the scalar path, "
+        "`auto` picks `cells` when compatible and `states` otherwise. "
+        "Verdicts are bitwise identical either way; REPRO_BATCHED=0 "
+        "overrides everything to scalar",
     )
     p_verify.add_argument("--out", help="write the JSON report here")
     p_verify.add_argument(

@@ -13,6 +13,7 @@ from .reach import (
     Verdict,
     reach,
     reach_from_box,
+    reach_many,
 )
 from .result import CellResult, VerificationReport
 from .runner import RunnerSettings, verify_cell, verify_partition
@@ -69,6 +70,7 @@ __all__ = [
     "load_journal",
     "reach",
     "reach_from_box",
+    "reach_many",
     "resize",
     "run_cell_guarded",
     "run_supervised",

@@ -22,7 +22,9 @@ import enum
 import time
 from dataclasses import dataclass, field
 
-from ..intervals import Box
+import numpy as np
+
+from ..intervals import Box, BoxBatch, batching_enabled
 from ..obs import get_recorder
 from ..sets import resolve_for_command
 from .symbolic import SymbolicSet, SymbolicState, resize
@@ -68,6 +70,10 @@ class ReachSettings:
     early_exit_on_unsafe: bool = True
     #: Record the per-step symbolic sets and flow tubes in the result.
     record_sets: bool = False
+    #: Route :func:`reach` through the lockstep driver so all symbolic
+    #: states of a step share one batched integrator call (bitwise
+    #: identical to the scalar path; ``REPRO_BATCHED=0`` overrides).
+    batch_states: bool = False
 
     def __post_init__(self) -> None:
         if self.substeps < 1:
@@ -123,6 +129,8 @@ def reach(
 ) -> ReachResult:
     """Run Algorithm 3 from the initial symbolic set ``R_0 ⊇ I``."""
     settings = settings or ReachSettings()
+    if settings.batch_states and batching_enabled():
+        return reach_many(system, [initial], settings)[0]
     num_commands = len(system.commands)
     if settings.max_symbolic_states < num_commands:
         raise ValueError(
@@ -240,6 +248,261 @@ def reach(
         result.verdict = Verdict.SAFE_WITHIN_HORIZON
     result.elapsed_seconds = time.perf_counter() - started
     return result
+
+
+@dataclass
+class _LiveCell:
+    """Bookkeeping for one initial set inside :func:`reach_many`."""
+
+    current: SymbolicSet
+    result: ReachResult
+    finished: bool = False
+    unsafe_found: bool = False
+    active: list[SymbolicState] = field(default_factory=list)
+    row_start: int = 0
+    survivors: int = 0
+    elapsed: float = 0.0
+
+
+def reach_many(
+    system: ClosedLoopSystem,
+    initial_sets: list[SymbolicSet],
+    settings: ReachSettings | None = None,
+) -> list[ReachResult]:
+    """Run Algorithm 3 on many initial sets in lockstep.
+
+    All runs advance through the control steps together: at step ``j``
+    every live run's active symbolic states are concatenated into one
+    :class:`~repro.intervals.batched.BoxBatch` and flowed through a
+    single ``Plant.flow_batch`` call, amortizing the per-operation numpy
+    dispatch overhead across the whole wave (the batched kernels are
+    bitwise identical to the scalar path row by row, so each returned
+    :class:`ReachResult` matches what :func:`reach` would have produced
+    for that initial set alone — same verdicts, same boxes, same join
+    and controller decisions).
+
+    Per-cell ``elapsed_seconds`` is attributed by measuring each run's
+    own bookkeeping and splitting the shared integrator call
+    proportionally to its row count (an approximation; the scalar path
+    measures each cell exactly).
+    """
+    settings = settings or ReachSettings()
+    num_commands = len(system.commands)
+    if settings.max_symbolic_states < num_commands:
+        raise ValueError(
+            f"Γ = {settings.max_symbolic_states} must be at least the number "
+            f"of commands P = {num_commands} (Remark 3)"
+        )
+    for initial in initial_sets:
+        if len(initial) == 0:
+            raise ValueError("an initial symbolic set is empty")
+
+    rec = get_recorder()
+    period = system.period
+    target = system.target
+    erroneous = system.erroneous
+
+    cells: list[_LiveCell] = []
+    for initial in initial_sets:
+        result = ReachResult(
+            verdict=Verdict.SAFE_WITHIN_HORIZON,
+            has_terminated=False,
+            termination_step=None,
+            steps_completed=0,
+        )
+        current = initial.copy()
+        if settings.record_sets:
+            result.step_sets.append(current.copy())
+        cells.append(_LiveCell(current=current, result=result))
+
+    for j in range(system.horizon_steps):
+        live = [c for c in cells if not c.finished]
+        if not live:
+            break
+
+        # --- join + termination filter, per cell (cheap, scalar-shaped)
+        batch_rows = 0
+        for cell in live:
+            tick = time.perf_counter()
+            current = cell.current
+            result = cell.result
+            with rec.span("join", step=j, states=len(current)):
+                joins = resize(current, settings.max_symbolic_states)
+            result.joins_performed += joins
+            if joins:
+                rec.inc("reach.joins", joins)
+            with rec.span("terminate", step=j):
+                active = [
+                    s
+                    for s in current
+                    if not resolve_for_command(target, s.command).contains_box(s.box)
+                ]
+            if not active:
+                result.has_terminated = True
+                result.termination_step = j
+                cell.finished = True
+            else:
+                cell.active = active
+                cell.row_start = batch_rows
+                batch_rows += len(active)
+            cell.elapsed += time.perf_counter() - tick
+        live = [c for c in live if not c.finished]
+        if not live:
+            continue
+
+        # --- one batched integrator call over the whole wave
+        all_states = [s for cell in live for s in cell.active]
+        boxes = BoxBatch.from_boxes([s.box for s in all_states])
+        u_rows = np.stack([system.commands.value(s.command) for s in all_states])
+        tick = time.perf_counter()
+        with rec.span("integrate", step=j, states=len(all_states)):
+            pipes = system.plant.flow_batch(
+                j * period, (j + 1) * period, boxes, u_rows, settings.substeps
+            )
+        integrate_elapsed = time.perf_counter() - tick
+        for cell in live:
+            cell.elapsed += integrate_elapsed * len(cell.active) / len(all_states)
+
+        # --- batched unsafe scan: one disjoint query per distinct command
+        substep_count = pipes.substep_count
+        disjoint_all = np.empty((substep_count, len(all_states)), dtype=bool)
+        rows_by_command: dict[int, list[int]] = {}
+        for r, s in enumerate(all_states):
+            rows_by_command.setdefault(s.command, []).append(r)
+        for command, rows in rows_by_command.items():
+            erroneous_now = resolve_for_command(erroneous, command)
+            checker = getattr(erroneous_now, "disjoint_box_batch", None)
+            if checker is not None:
+                disjoint_all[:, rows] = checker(
+                    pipes.range_lo[:, rows, :], pipes.range_hi[:, rows, :]
+                )
+            else:
+                for r in rows:
+                    range_lo, range_hi = pipes.range_arrays(r)
+                    for k in range(substep_count):
+                        disjoint_all[k, r] = erroneous_now.disjoint_box(
+                            Box(range_lo[k], range_hi[k])
+                        )
+
+        # --- per-cell unsafe bookkeeping, replicating the scalar loop
+        survivor_states: list[SymbolicState] = []
+        survivor_rows: list[int] = []
+        for cell in live:
+            tick = time.perf_counter()
+            result = cell.result
+            cell.survivors = 0
+            exited = False
+            for offset, state in enumerate(cell.active):
+                row = cell.row_start + offset
+                result.integrations += substep_count
+                rec.inc("reach.integrations", substep_count)
+                for k in range(substep_count):
+                    if settings.record_sets:
+                        result.tube.append(
+                            TubeSegment(
+                                float(pipes.t_starts[k]),
+                                float(pipes.t_ends[k]),
+                                Box(pipes.range_lo[k, row], pipes.range_hi[k, row]),
+                                state.command,
+                            )
+                        )
+                    if not disjoint_all[k, row]:
+                        cell.unsafe_found = True
+                        rec.event(
+                            "reach.unsafe",
+                            step=j,
+                            t=float(pipes.t_starts[k]),
+                            command=state.command,
+                        )
+                        if result.unsafe_time is None:
+                            result.unsafe_time = float(pipes.t_starts[k])
+                            result.unsafe_command = state.command
+                        if settings.early_exit_on_unsafe:
+                            result.verdict = Verdict.POSSIBLY_UNSAFE
+                            result.steps_completed = j
+                            cell.finished = True
+                            exited = True
+                            break
+                if exited:
+                    break
+                survivor_states.append(state)
+                survivor_rows.append(row)
+                cell.survivors += 1
+            if exited and cell.survivors:
+                # Drop this cell's earlier states from the wave: the
+                # scalar path would still have evaluated the controller
+                # for them before reaching the unsafe state, but their
+                # results are discarded with the early exit, so the
+                # batched path skips them (reach.controller_evaluations
+                # can therefore undercount relative to scalar; verdicts
+                # and boxes are unaffected).
+                del survivor_states[-cell.survivors :]
+                del survivor_rows[-cell.survivors :]
+                cell.survivors = 0
+            cell.elapsed += time.perf_counter() - tick
+
+        # --- one batched controller evaluation over every surviving state
+        live = [c for c in live if not c.finished]
+        command_lists: list[list[int]] = []
+        if survivor_states:
+            tick = time.perf_counter()
+            with rec.span("controller", step=j, states=len(survivor_states)):
+                batch_fn = getattr(system.controller, "execute_abstract_batch", None)
+                if batch_fn is not None:
+                    command_lists = batch_fn(
+                        [s.box for s in survivor_states],
+                        [s.command for s in survivor_states],
+                    )
+                else:
+                    command_lists = [
+                        system.controller.execute_abstract(s.box, s.command)
+                        for s in survivor_states
+                    ]
+            rec.inc("reach.controller_evaluations", len(survivor_states))
+            controller_elapsed = time.perf_counter() - tick
+            for cell in live:
+                cell.elapsed += (
+                    controller_elapsed * cell.survivors / len(survivor_states)
+                )
+
+        # --- per-cell successor assembly and termination check
+        cursor = 0
+        for cell in live:
+            tick = time.perf_counter()
+            result = cell.result
+            next_set = SymbolicSet()
+            for _ in range(cell.survivors):
+                row = survivor_rows[cursor]
+                next_commands = command_lists[cursor]
+                cursor += 1
+                result.controller_evaluations += 1
+                end_box = pipes.end_box(row)
+                for command in next_commands:
+                    next_set.add(SymbolicState(end_box, command))
+            cell.current = next_set
+            result.steps_completed = j + 1
+            rec.inc("reach.steps")
+            if settings.record_sets:
+                result.step_sets.append(next_set.copy())
+            if all(
+                resolve_for_command(target, s.command).contains_box(s.box)
+                for s in next_set
+            ):
+                result.has_terminated = True
+                result.termination_step = j + 1
+                cell.finished = True
+            cell.elapsed += time.perf_counter() - tick
+
+    for cell in cells:
+        result = cell.result
+        if cell.unsafe_found:
+            result.verdict = Verdict.POSSIBLY_UNSAFE
+        elif result.has_terminated:
+            result.verdict = Verdict.PROVED_SAFE
+        else:
+            result.verdict = Verdict.SAFE_WITHIN_HORIZON
+        result.elapsed_seconds = cell.elapsed
+    return [cell.result for cell in cells]
 
 
 def reach_from_box(

@@ -22,11 +22,12 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from ..intervals import Box
+from ..intervals import Box, batching_enabled
 from ..obs import get_recorder
 from ..obs.live import HeartbeatReporter, get_bus
 from .partition import RefinementPolicy
-from .reach import ReachSettings, Verdict, reach_from_box
+from .reach import ReachSettings, Verdict, reach_from_box, reach_many
+from .symbolic import SymbolicSet, SymbolicState
 from .result import CellResult, VerificationReport
 from .supervisor import (
     BudgetExceeded,
@@ -76,6 +77,16 @@ class RunnerSettings:
     #: (None = unbounded); a timed-out search counts as "no witness
     #: found" and refinement proceeds.
     witness_timeout: float | None = None
+    #: Verify the partition in lockstep *waves*: all cells (and, per
+    #: refinement round, all child cells) advance through the control
+    #: steps together, so every step issues one batched integrator call
+    #: over the whole wave's symbolic states (the SoA kernels in
+    #: :mod:`repro.intervals.batched`). Verdicts are bitwise identical
+    #: to the scalar path. Serial mode only (``workers == 1``) and
+    #: incompatible with the per-cell/campaign wall-clock budgets,
+    #: which are enforced per dispatched cell. ``REPRO_BATCHED=0``
+    #: falls back to the scalar per-cell loop.
+    batch_cells: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -90,6 +101,52 @@ class RunnerSettings:
             raise ValueError("retry_backoff must be >= 0")
         if self.witness_timeout is not None and self.witness_timeout <= 0:
             raise ValueError("witness_timeout must be positive (or None)")
+        if self.batch_cells:
+            if self.workers != 1:
+                raise ValueError("batch_cells requires workers == 1")
+            if self.cell_timeout is not None or self.deadline is not None:
+                raise ValueError(
+                    "batch_cells is incompatible with cell_timeout/deadline "
+                    "(budgets are enforced per dispatched cell)"
+                )
+
+
+def _search_witness(
+    system: ClosedLoopSystem,
+    result: CellResult,
+    settings: RunnerSettings,
+    depth: int,
+) -> bool:
+    """Run the falsification hook on a failed cell (Section 8 coupling).
+
+    Returns True when a concrete counterexample was found — the cell is
+    genuinely unsafe, so split refinement cannot rescue it and the
+    caller should skip it. A timed-out search counts as "no witness"."""
+    rec = get_recorder()
+    cell_id = result.cell_id
+    witness = None
+    try:
+        with budget_guard(settings.witness_timeout, scope="witness"):
+            with rec.span("witness_search", cell_id=cell_id):
+                witness = settings.witness_search(system, result.box, result.command)
+    except BudgetExceeded as exc:
+        if exc.scope != "witness":
+            raise
+        # A stuck falsifier must not stall the cell: treat it as
+        # "no witness found" and fall through to refinement.
+        result.tags["witness_timeout"] = exc.seconds
+        rec.inc("runner.witness_timeouts")
+        rec.event("runner.witness_timeout", cell_id=cell_id, budget_seconds=exc.seconds)
+        logger.warning(
+            "witness search on %s exceeded its %.3gs budget; refining instead",
+            cell_id, exc.seconds,
+        )
+    if witness is None:
+        return False
+    result.tags["witness"] = [float(v) for v in np.asarray(witness)]
+    rec.inc("runner.witnesses")
+    rec.event("runner.witness", cell_id=cell_id, depth=depth)
+    return True
 
 
 def verify_cell(
@@ -124,30 +181,7 @@ def verify_cell(
     )
     rec.inc(f"runner.verdict.{outcome.verdict.value}")
     if result.verdict is not Verdict.PROVED_SAFE and settings.witness_search:
-        witness = None
-        try:
-            with budget_guard(settings.witness_timeout, scope="witness"):
-                with rec.span("witness_search", cell_id=cell_id):
-                    witness = settings.witness_search(system, box, command)
-        except BudgetExceeded as exc:
-            if exc.scope != "witness":
-                raise
-            # A stuck falsifier must not stall the cell: treat it as
-            # "no witness found" and fall through to refinement.
-            result.tags["witness_timeout"] = exc.seconds
-            rec.inc("runner.witness_timeouts")
-            rec.event("runner.witness_timeout", cell_id=cell_id, budget_seconds=exc.seconds)
-            logger.warning(
-                "witness search on %s exceeded its %.3gs budget; refining instead",
-                cell_id, exc.seconds,
-            )
-        if witness is not None:
-            # A concrete counterexample: the cell is genuinely unsafe,
-            # so split refinement cannot rescue it — skip it (the
-            # falsification coupling of Section 8).
-            result.tags["witness"] = [float(v) for v in np.asarray(witness)]
-            rec.inc("runner.witnesses")
-            rec.event("runner.witness", cell_id=cell_id, depth=depth)
+        if _search_witness(system, result, settings, depth):
             return result
     policy = settings.refinement
     if (
@@ -169,6 +203,94 @@ def verify_cell(
                     )
                 )
     return result
+
+
+# ----------------------------------------------------------------------
+# Lockstep (batched) driver
+# ----------------------------------------------------------------------
+def _verify_cells_lockstep(
+    system: ClosedLoopSystem,
+    tasks: Sequence[tuple[str, Box, int, dict]],
+    settings: RunnerSettings,
+) -> list[CellResult]:
+    """Verify every cell in lockstep waves (``batch_cells`` mode).
+
+    Wave 0 holds the top-level cells; each refinement round collects
+    every failed cell's children into the next wave. Within a wave,
+    :func:`~repro.core.reach.reach_many` advances all cells through the
+    control steps together, so each step issues one batched integrator
+    call over the whole wave. Verdicts, refinement decisions and the
+    result tree are identical to the sequential :func:`verify_cell`
+    recursion; only the grouping of work (and hence the per-cell
+    ``elapsed_seconds`` attribution) differs.
+    """
+    rec = get_recorder()
+    policy = settings.refinement
+    top_results: list[CellResult] = []
+    wave: list[dict] = []
+    for slot, (cell_id, box, command, _tags) in enumerate(tasks):
+        wave.append(
+            {
+                "cell_id": cell_id,
+                "box": box,
+                "command": command,
+                "depth": 0,
+                "parent": None,
+                "slot": slot,
+            }
+        )
+        top_results.append(None)  # type: ignore[arg-type]
+    while wave:
+        initials = [
+            SymbolicSet([SymbolicState(t["box"], t["command"])]) for t in wave
+        ]
+        outcomes = reach_many(system, initials, settings.reach)
+        next_wave: list[dict] = []
+        for task, outcome in zip(wave, outcomes):
+            depth = task["depth"]
+            result = CellResult(
+                cell_id=task["cell_id"],
+                box=task["box"],
+                command=task["command"],
+                verdict=outcome.verdict,
+                depth=depth,
+                elapsed_seconds=outcome.elapsed_seconds,
+                steps_completed=outcome.steps_completed,
+                joins_performed=outcome.joins_performed,
+                integrations=outcome.integrations,
+            )
+            rec.inc(f"runner.verdict.{outcome.verdict.value}")
+            # Keep the "cell" phase populated for dashboards and the
+            # ledger: the scalar driver gets it from the per-cell span,
+            # here it is the wave-proportional elapsed attribution.
+            rec.observe("cell.seconds", outcome.elapsed_seconds)
+            witnessed = False
+            if result.verdict is not Verdict.PROVED_SAFE and settings.witness_search:
+                witnessed = _search_witness(system, result, settings, depth)
+            if (
+                not witnessed
+                and result.verdict is not Verdict.PROVED_SAFE
+                and policy is not None
+                and depth < policy.max_depth
+            ):
+                rec.inc("runner.refinements")
+                for i, child_box in enumerate(policy.children(task["box"])):
+                    next_wave.append(
+                        {
+                            "cell_id": f"{task['cell_id']}.{i}",
+                            "box": child_box,
+                            "command": task["command"],
+                            "depth": depth + 1,
+                            "parent": result,
+                            "slot": None,
+                        }
+                    )
+            if task["parent"] is None:
+                top_results[task["slot"]] = result
+            else:
+                task["parent"].children.append(result)
+        wave = next_wave
+    return top_results
 
 
 # ----------------------------------------------------------------------
@@ -209,6 +331,7 @@ def _settings_summary(settings: RunnerSettings, interrupted: str | None) -> dict
         "cell_timeout": settings.cell_timeout,
         "deadline": settings.deadline,
         "max_retries": settings.max_retries,
+        "batch_cells": settings.batch_cells,
     }
     if interrupted:
         summary["interrupted"] = interrupted
@@ -263,7 +386,30 @@ def verify_partition(
     )
     interrupted: str | None = None
     results: list[CellResult]
-    if settings.workers == 1:
+    if settings.workers == 1 and settings.batch_cells and batching_enabled():
+        # Lockstep wave mode: every control step issues one batched
+        # integrator call over all live cells. No per-cell dispatch,
+        # budgets or interrupt draining — the wave runs to completion
+        # (RunnerSettings rejects batch_cells + budgets up front).
+        system = system_factory()
+        if bus.enabled:
+            bus.publish("worker.ready", worker=0, pid=os.getpid())
+        results = _verify_cells_lockstep(system, tasks, settings)
+        for i, ((cell_id, _box, _command, tags), result) in enumerate(
+            zip(tasks, results)
+        ):
+            result.tags.update(tags)
+            bus.publish(
+                "cell.finished",
+                worker=0,
+                cell_id=cell_id,
+                seq=i,
+                verdict=result.verdict.value,
+                verdict_class=result.verdict_class(),
+                elapsed=result.elapsed_seconds,
+            )
+            _notify_progress(progress, i + 1, len(tasks), result)
+    elif settings.workers == 1:
         system = system_factory()
         results = []
         # The serial driver is its own "worker 0": a heartbeat thread

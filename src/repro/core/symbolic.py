@@ -114,23 +114,57 @@ def resize(symbolic_set: SymbolicSet, threshold: int) -> int:
             "present; no sequence of joins can reach it (Remark 3)"
         )
     joins = 0
+    if len(symbolic_set) <= threshold:
+        return 0
+    # Vectorized closest-pair search. The scalar loop evaluated
+    # d = sum((center_a - center_b)**2) per candidate pair and kept the
+    # first strict minimum in enumeration order (clusters in
+    # first-appearance order, (a, b) lexicographic). The batched version
+    # computes the same distances columnwise — numpy's elementwise ops
+    # and the left-to-right accumulation reproduce the scalar floats bit
+    # for bit, and np.argmin returns the first occurrence of the
+    # minimum, which is exactly the strict-< tie-break. Box centers are
+    # cached across iterations: a join only removes two rows and
+    # appends one.
+    centers: list[np.ndarray] = [s.box.center for s in symbolic_set.states]
     while len(symbolic_set) > threshold:
-        best: tuple[float, int, int] | None = None
         groups = symbolic_set.group_by_command()
+        pair_a: list[int] = []
+        pair_b: list[int] = []
         for indices in groups.values():
             for a in range(len(indices)):
-                state_a = symbolic_set[indices[a]]
+                ia = indices[a]
                 for b in range(a + 1, len(indices)):
-                    d = state_a.distance_sq(symbolic_set[indices[b]])
-                    if best is None or d < best[0]:
-                        best = (d, indices[a], indices[b])
-        if best is None:  # pragma: no cover - excluded by the threshold check
+                    pair_a.append(ia)
+                    pair_b.append(indices[b])
+        if not pair_a:  # pragma: no cover - excluded by the threshold check
             break
-        _, i, j = best
+        cm = np.stack(centers)
+        diff = cm[pair_a] - cm[pair_b]
+        sq = diff * diff
+        # sound: ok [S001] join-ordering heuristic, not a bound
+        # computation; the accumulation order matches the scalar
+        # np.sum(diff * diff) exactly (sequential for short vectors).
+        dist = sq[:, 0].copy()
+        for k in range(1, sq.shape[1]):
+            dist = dist + sq[:, k]
+        if np.isnan(dist).any():  # pragma: no cover - degenerate boxes
+            # Replicate the scalar strict-< scan, whose NaN comparisons
+            # are all False (np.argmin would pick the first NaN instead).
+            best_idx = 0
+            for idx in range(1, dist.shape[0]):
+                if dist[idx] < dist[best_idx]:
+                    best_idx = idx
+        else:
+            best_idx = int(np.argmin(dist))
+        i, j = pair_a[best_idx], pair_b[best_idx]
         joined = symbolic_set[i].join(symbolic_set[j])
         # Remove the higher index first to keep the lower one valid.
         del symbolic_set.states[j]
         del symbolic_set.states[i]
+        del centers[j]
+        del centers[i]
         symbolic_set.add(joined)
+        centers.append(joined.box.center)
         joins += 1
     return joins

@@ -14,13 +14,15 @@ plain simulator and the falsifier) and its *abstract* semantics
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
-from ..intervals import Box
+from ..intervals import Box, BoxBatch
 from ..nn import Network
+from ..obs import get_recorder
 from ..sets import SetSpec
 from ..verify import SymbolicPropagator, possible_argmin
 
@@ -170,6 +172,7 @@ class Controller:
         post: PostProcessing | None = None,
         selector: Callable[[int], int] | None = None,
         propagator_factory: Callable[[Network], object] = SymbolicPropagator,
+        memo_size: int = 4096,
     ):
         if not networks:
             raise ValueError("a controller needs at least one network")
@@ -185,6 +188,17 @@ class Controller:
                 raise ValueError(
                     f"selector maps command {index} to invalid network {chosen}"
                 )
+        # Content-keyed LRU memo over the whole abstract pipeline
+        # (Pre# -> F# -> Post#). The abstract step is a pure function of
+        # the selected network and the input box, and the reach loop
+        # re-propagates the same boxes often (joined states stabilize,
+        # sibling cells share post-join boxes), so memoizing on the
+        # exact endpoint bytes is safe and cheap. ``memo_size=0``
+        # disables caching.
+        self._memo_size = int(memo_size)
+        self._memo: OrderedDict[tuple[int, bytes, bytes], tuple[int, ...]] = (
+            OrderedDict()
+        )
 
     # Concrete semantics -------------------------------------------------
     def execute(self, state: np.ndarray, previous_command: int) -> int:
@@ -198,9 +212,73 @@ class Controller:
     def execute_abstract(self, box: Box, previous_command: int) -> list[int]:
         """Sound superset of next command indices from a state box."""
         index = self.selector(previous_command)
+        if self._memo_size > 0:
+            key = (index, box.lo.tobytes(), box.hi.tobytes())
+            cached = self._memo.get(key)
+            if cached is not None:
+                self._memo.move_to_end(key)
+                get_recorder().inc("verify.memo_hits")
+                return list(cached)
         x_box = self.pre.abstract(box)
         y_box = self.propagators[index](x_box)
-        return self.post.abstract(y_box)
+        out = self.post.abstract(y_box)
+        if self._memo_size > 0:
+            self._memo[key] = tuple(out)
+            if len(self._memo) > self._memo_size:
+                self._memo.popitem(last=False)
+        return out
+
+    def execute_abstract_batch(
+        self, boxes: Sequence[Box], previous_commands: Sequence[int]
+    ) -> list[list[int]]:
+        """Batched :meth:`execute_abstract` over many (box, command)
+        pairs: one symbolic propagation per selected network covers all
+        rows routed to it, and ``Pre#`` is batched too when the
+        pre-processor offers ``abstract_batch`` (``Post#`` stays per-row
+        — it is cheap and branch-heavy). Row ``i`` of the result is
+        identical to ``execute_abstract(boxes[i], previous_commands[i])``
+        — the batched propagator is bitwise-exact per row — and the memo
+        is consulted and filled exactly as in the scalar path."""
+        out: list[list[int] | None] = [None] * len(boxes)
+        by_network: dict[int, list[int]] = {}
+        for i, (box, previous) in enumerate(zip(boxes, previous_commands)):
+            index = self.selector(previous)
+            if self._memo_size > 0:
+                key = (index, box.lo.tobytes(), box.hi.tobytes())
+                cached = self._memo.get(key)
+                if cached is not None:
+                    self._memo.move_to_end(key)
+                    get_recorder().inc("verify.memo_hits")
+                    out[i] = list(cached)
+                    continue
+            by_network.setdefault(index, []).append(i)
+        for index, rows in by_network.items():
+            propagator = self.propagators[index]
+            batched = getattr(propagator, "output_bounds_batch", None)
+            pre_batch = getattr(self.pre, "abstract_batch", None)
+            if batched is not None and len(rows) > 1:
+                if pre_batch is not None:
+                    lo, hi = pre_batch(
+                        np.stack([boxes[i].lo for i in rows]),
+                        np.stack([boxes[i].hi for i in rows]),
+                    )
+                else:
+                    x_boxes = [self.pre.abstract(boxes[i]) for i in rows]
+                    lo = np.stack([b.lo for b in x_boxes])
+                    hi = np.stack([b.hi for b in x_boxes])
+                out_lo, out_hi = batched(lo, hi)
+                y_boxes = [Box(out_lo[r], out_hi[r]) for r in range(len(rows))]
+            else:
+                y_boxes = [propagator(self.pre.abstract(boxes[i])) for i in rows]
+            for i, y_box in zip(rows, y_boxes):
+                commands = self.post.abstract(y_box)
+                if self._memo_size > 0:
+                    key = (index, boxes[i].lo.tobytes(), boxes[i].hi.tobytes())
+                    self._memo[key] = tuple(commands)
+                    if len(self._memo) > self._memo_size:
+                        self._memo.popitem(last=False)
+                out[i] = commands
+        return out  # type: ignore[return-value]
 
     def abstract_scores(self, box: Box, previous_command: int) -> Box:
         """The intermediate ``[y_j]`` score box (diagnostics/tests)."""
@@ -231,6 +309,42 @@ class Plant:
 
     def flow(self, t0: float, t1: float, box: Box, u: np.ndarray, substeps: int):
         return self.integrator.integrate(t0, t1, box, u, substeps=substeps)
+
+    def flow_batch(
+        self,
+        t0: float,
+        t1: float,
+        boxes: BoxBatch,
+        u_rows: np.ndarray,
+        substeps: int,
+    ):
+        """Batched :meth:`flow`: one tube per row of ``boxes``, with
+        per-row commands. Falls back to row-by-row integration when the
+        integrator has no batched driver."""
+        batched = getattr(self.integrator, "integrate_batch", None)
+        if batched is not None:
+            return batched(t0, t1, boxes, u_rows, substeps=substeps)
+        from ..ode.ivp import FlowPipeBatch
+
+        pipes = [
+            self.integrator.integrate(
+                t0, t1, boxes.row(i), u_rows[i], substeps=substeps
+            )
+            for i in range(boxes.count)
+        ]
+        steps = [p.steps for p in pipes]
+        return FlowPipeBatch(
+            t_starts=np.array([s.t_start for s in steps[0]]),
+            t_ends=np.array([s.t_end for s in steps[0]]),
+            range_lo=np.stack(
+                [[s.range_box.lo for s in row] for row in steps], axis=1
+            ),
+            range_hi=np.stack(
+                [[s.range_box.hi for s in row] for row in steps], axis=1
+            ),
+            end_lo=np.stack([[s.end_box.lo for s in row] for row in steps], axis=1),
+            end_hi=np.stack([[s.end_box.hi for s in row] for row in steps], axis=1),
+        )
 
     def simulate_point(
         self, t0: float, t1: float, state: np.ndarray, u: np.ndarray, rtol: float = 1e-10

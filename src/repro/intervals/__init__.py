@@ -2,6 +2,7 @@
 vectorized interval linear algebra and affine arithmetic."""
 
 from .affine import AffineForm, atan2_affine, fresh_symbol
+from .batched import BoxBatch, IntervalBatch, batching_enabled
 from .box import Box, hull_of_boxes
 from .functions import (
     iatan,
@@ -29,7 +30,9 @@ from .linalg import affine_bounds, interval_matvec
 __all__ = [
     "AffineForm",
     "Box",
+    "BoxBatch",
     "EmptyIntersectionError",
+    "IntervalBatch",
     "HALF_PI",
     "Interval",
     "ONE",
@@ -38,6 +41,7 @@ __all__ = [
     "ZERO",
     "affine_bounds",
     "atan2_affine",
+    "batching_enabled",
     "fresh_symbol",
     "hull_of_boxes",
     "iatan",

@@ -41,6 +41,21 @@ class Box:
     # Constructors
     # ------------------------------------------------------------------
     @staticmethod
+    def _trusted(lo: np.ndarray, hi: np.ndarray) -> "Box":
+        """Internal: wrap already-validated endpoint arrays without the
+        copy and checks of ``__init__``. Callers must guarantee 1-D
+        float64 arrays with ``lo <= hi``, no NaNs, and exclusive
+        ownership of both arrays.
+        """
+        box = Box.__new__(Box)
+        # sound: ok [S004] trusted constructor: the one legal endpoint
+        # write outside __init__ (callers guarantee validity)
+        box.lo = lo
+        # sound: ok [S004] second half of the trusted-constructor write
+        box.hi = hi
+        return box
+
+    @staticmethod
     def from_intervals(intervals: Iterable[Interval]) -> "Box":
         ivs = list(intervals)
         return Box([iv.lo for iv in ivs], [iv.hi for iv in ivs])
@@ -141,7 +156,11 @@ class Box:
     def hull(self, other: "Box") -> "Box":
         """Join: smallest box containing both (Definition 10's l-box part)."""
         self._check_dim(other)
-        return Box(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+        # min/max of two valid endpoint pairs is itself valid, so the
+        # __init__ validation can be skipped.
+        return Box._trusted(
+            np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi)
+        )
 
     def intersect(self, other: "Box") -> "Box":
         self._check_dim(other)
@@ -201,7 +220,11 @@ class Box:
         """Squared Euclidean distance between box centers (Definition 9)."""
         self._check_dim(other)
         diff = self.center - other.center
-        return float(np.dot(diff, diff))
+        # Join-ordering heuristic, not a verified bound. np.sum
+        # (pairwise, sequential for short vectors) rather than np.dot
+        # (BLAS multi-accumulator) so the batched join kernel can
+        # reproduce the exact same floats with columnwise accumulation.
+        return float(np.sum(diff * diff))
 
     def scaled(self, scale: Sequence[float], offset: Sequence[float]) -> "Box":
         """Apply an elementwise affine map ``x -> scale * x + offset``.
@@ -235,9 +258,17 @@ class Box:
 
 def hull_of_boxes(boxes: Iterable[Box]) -> Box:
     """Smallest box containing every box in ``boxes`` (non-empty)."""
-    result: Box | None = None
-    for box in boxes:
-        result = box if result is None else result.hull(box)
-    if result is None:
+    box_list = list(boxes)
+    if not box_list:
         raise ValueError("hull_of_boxes requires at least one box")
-    return result
+    if len(box_list) == 1:
+        return box_list[0]
+    first_dim = box_list[0].dim
+    for box in box_list[1:]:
+        if box.dim != first_dim:
+            raise ValueError(f"dimension mismatch: {first_dim} vs {box.dim}")
+    # Exact min/max reduction over the stacked endpoints — identical to
+    # the pairwise sequential hull, but one vectorized pass.
+    lo = np.min(np.stack([b.lo for b in box_list]), axis=0)
+    hi = np.max(np.stack([b.hi for b in box_list]), axis=0)
+    return Box(lo, hi)

@@ -176,19 +176,27 @@ class Interval:
         return self
 
     def __add__(self, other: "Interval | Number") -> "Interval":
+        if not isinstance(other, (Interval, int, float)):
+            return NotImplemented
         o = Interval.coerce(other)
         return Interval(down(self.lo + o.lo), up(self.hi + o.hi))
 
     __radd__ = __add__
 
     def __sub__(self, other: "Interval | Number") -> "Interval":
+        if not isinstance(other, (Interval, int, float)):
+            return NotImplemented
         o = Interval.coerce(other)
         return Interval(down(self.lo - o.hi), up(self.hi - o.lo))
 
     def __rsub__(self, other: Number) -> "Interval":
+        if not isinstance(other, (Interval, int, float)):
+            return NotImplemented
         return Interval.coerce(other) - self
 
     def __mul__(self, other: "Interval | Number") -> "Interval":
+        if not isinstance(other, (Interval, int, float)):
+            return NotImplemented
         o = Interval.coerce(other)
         # sound: ok [S001] each product is one nearest-mode op (error below
         # half an ulp); the one-ulp outward step in down()/up() below covers it
@@ -205,6 +213,8 @@ class Interval:
     __rmul__ = __mul__
 
     def __truediv__(self, other: "Interval | Number") -> "Interval":
+        if not isinstance(other, (Interval, int, float)):
+            return NotImplemented
         o = Interval.coerce(other)
         if o.lo <= 0.0 <= o.hi:
             raise ZeroDivisionError(f"division by interval containing zero: {o}")
@@ -220,6 +230,8 @@ class Interval:
         return Interval(down(min(cleaned)), up(max(cleaned)))
 
     def __rtruediv__(self, other: Number) -> "Interval":
+        if not isinstance(other, (Interval, int, float)):
+            return NotImplemented
         return Interval.coerce(other) / self
 
     def __pow__(self, n: int) -> "Interval":
@@ -232,6 +244,16 @@ class Interval:
             return Interval(1.0, 1.0)
         if n == 1:
             return self
+        if n == 2:
+            # Square via multiplication: IEEE multiply is correctly
+            # rounded, whereas libm pow(x, 2) can be an ulp off — and
+            # the vectorized kernels (repro.intervals.batched) compute
+            # squares as products, so this also keeps the scalar and
+            # batched paths bitwise identical.
+            mig = self.mig
+            lo = 0.0 if mig == 0.0 else down(mig * mig)
+            mag = self.mag
+            return Interval(lo, up(mag * mag))
         if n % 2 == 1:
             return Interval(down(self.lo**n), up(self.hi**n))
         # Even power: minimum at the mignitude, maximum at the magnitude.

@@ -71,7 +71,13 @@ def dot_error_bound(a_abs: np.ndarray, b_abs: np.ndarray) -> np.ndarray:
     expressions with float coefficients and needs a sound slack term.
     """
     n_terms = a_abs.shape[-1] + 1
-    return _gamma(n_terms) * (a_abs @ b_abs) + np.finfo(float).tiny
+    if a_abs.ndim == 2 and b_abs.ndim == 1:
+        prod = a_abs @ b_abs
+    else:
+        # Stacked operands: slice-by-slice GEMV, bitwise identical to
+        # the per-row 2-D products.
+        prod = np.matmul(a_abs, b_abs[..., None])[..., 0]
+    return _gamma(n_terms) * prod + np.finfo(float).tiny
 
 
 def affine_bounds(

@@ -7,6 +7,7 @@ from .meanvalue import MeanValueIntegrator
 from .ivp import (
     EnclosureError,
     FlowPipe,
+    FlowPipeBatch,
     IntegratorSettings,
     ODESystem,
     ValidatedStep,
@@ -14,7 +15,11 @@ from .ivp import (
 from .jet import Jet
 from .ops import gcos, gsin, gsq, gsqrt
 from .picard import a_priori_enclosure, picard_operator
-from .taylor import ode_taylor_coefficients, taylor_step_bounds
+from .taylor import (
+    ode_taylor_coefficients,
+    taylor_step_bounds,
+    taylor_step_bounds_batch,
+)
 from .variational import (
     jacobian_enclosure,
     rhs_jacobian,
@@ -26,6 +31,7 @@ __all__ = [
     "Dual",
     "EnclosureError",
     "FlowPipe",
+    "FlowPipeBatch",
     "IntegratorSettings",
     "Jet",
     "MeanValueIntegrator",
@@ -45,5 +51,6 @@ __all__ = [
     "refine_crossing_time",
     "rhs_jacobian",
     "taylor_step_bounds",
+    "taylor_step_bounds_batch",
     "variational_taylor_coefficients",
 ]

@@ -13,7 +13,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..intervals import Box, Interval
+from ..intervals import Box, BoxBatch, Interval
 
 #: RHS signature: (t, state, command) -> state derivative, where t and the
 #: state entries are floats, Intervals or Jets, and the command is a
@@ -133,3 +133,64 @@ class FlowPipe:
             if not covered:
                 return False
         return True
+
+
+@dataclass
+class FlowPipeBatch:
+    """Validated flow tubes for a whole batch of initial boxes at once.
+
+    The structure-of-arrays counterpart of ``list[FlowPipe]``: substep
+    ``k`` of row ``b`` occupies ``range_lo[k, b]`` / ``range_hi[k, b]``
+    (tube over the substep) and ``end_lo[k, b]`` / ``end_hi[k, b]``
+    (endpoint enclosure). Each row is bitwise identical to the
+    :class:`FlowPipe` the scalar integrator would have produced for that
+    row alone.
+    """
+
+    t_starts: np.ndarray  #: (M,) substep start times
+    t_ends: np.ndarray  #: (M,) substep end times
+    range_lo: np.ndarray  #: (M, B, n)
+    range_hi: np.ndarray  #: (M, B, n)
+    end_lo: np.ndarray  #: (M, B, n)
+    end_hi: np.ndarray  #: (M, B, n)
+
+    @property
+    def substep_count(self) -> int:
+        return int(self.range_lo.shape[0])
+
+    @property
+    def count(self) -> int:
+        """Number of rows (initial boxes)."""
+        return int(self.range_lo.shape[1])
+
+    @property
+    def dim(self) -> int:
+        return int(self.range_lo.shape[2])
+
+    def end_box(self, row: int) -> Box:
+        """Endpoint enclosure of ``row`` at the final time."""
+        return Box(self.end_lo[-1, row], self.end_hi[-1, row])
+
+    def end_batch(self) -> BoxBatch:
+        """Endpoint enclosures of every row at the final time."""
+        return BoxBatch(self.end_lo[-1].copy(), self.end_hi[-1].copy())
+
+    def range_arrays(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-substep tube endpoints of ``row`` as ``(M, n)`` arrays."""
+        return self.range_lo[:, row, :], self.range_hi[:, row, :]
+
+    def pipe(self, row: int) -> FlowPipe:
+        """Materialize ``row`` as a plain :class:`FlowPipe`."""
+        steps = [
+            ValidatedStep(
+                t_start=float(self.t_starts[k]),
+                t_end=float(self.t_ends[k]),
+                range_box=Box(self.range_lo[k, row], self.range_hi[k, row]),
+                end_box=Box(self.end_lo[k, row], self.end_hi[k, row]),
+            )
+            for k in range(self.substep_count)
+        ]
+        return FlowPipe(steps=steps)
+
+    def pipes(self) -> list[FlowPipe]:
+        return [self.pipe(b) for b in range(self.count)]

@@ -14,6 +14,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..intervals import Box, Interval, ihypot
+from ..intervals.batched import IntervalBatch, badd, bhypot, bmul, bsub
 
 
 class BallSet:
@@ -40,11 +41,27 @@ class BallSet:
         dy = box[self.dims[1]] - self.center[1]
         return ihypot(dx, dy)
 
+    def _distance_batch(
+        self, lo: np.ndarray, hi: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched ``_distance_interval`` over ``(..., n)`` box endpoints
+        (bitwise identical to the scalar query per row)."""
+        d0, d1 = self.dims
+        dx_lo, dx_hi = bsub(lo[..., d0], hi[..., d0], self.center[0], self.center[0])
+        dy_lo, dy_hi = bsub(lo[..., d1], hi[..., d1], self.center[1], self.center[1])
+        return bhypot(dx_lo, dx_hi, dy_lo, dy_hi)
+
     def contains_box(self, box: Box) -> bool:
         return self._distance_interval(box).hi < self.radius
 
     def disjoint_box(self, box: Box) -> bool:
         return self._distance_interval(box).lo >= self.radius
+
+    def contains_box_batch(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        return self._distance_batch(lo, hi)[1] < self.radius
+
+    def disjoint_box_batch(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        return self._distance_batch(lo, hi)[0] >= self.radius
 
     def contains_point(self, point: np.ndarray) -> bool:
         dx = float(point[self.dims[0]]) - self.center[0]
@@ -82,6 +99,12 @@ class OutsideBallSet:
     def disjoint_box(self, box: Box) -> bool:
         return self._ball._distance_interval(box).hi <= self._ball.radius
 
+    def contains_box_batch(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        return self._ball._distance_batch(lo, hi)[0] > self._ball.radius
+
+    def disjoint_box_batch(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        return self._ball._distance_batch(lo, hi)[1] <= self._ball.radius
+
     def contains_point(self, point: np.ndarray) -> bool:
         ball = self._ball
         dx = float(point[ball.dims[0]]) - ball.center[0]
@@ -108,11 +131,32 @@ class HalfSpaceSet:
                 acc = acc + box[i] * float(coef)
         return acc
 
+    def _dot_batch(
+        self, lo: np.ndarray, hi: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        shape = lo.shape[:-1]
+        acc_lo = np.zeros(shape)
+        acc_hi = np.zeros(shape)
+        for i, coef in enumerate(self.normal):
+            if coef != 0.0:
+                # sound: ok [S001] IntervalBatch.__mul__ applies directed
+                # rounding internally; the `*` here is the interval
+                # operator, not raw float arithmetic
+                term = IntervalBatch(lo[..., i], hi[..., i]) * float(coef)
+                acc_lo, acc_hi = badd(acc_lo, acc_hi, term.lo, term.hi)
+        return acc_lo, acc_hi
+
     def contains_box(self, box: Box) -> bool:
         return self._dot_interval(box).hi <= self.offset
 
     def disjoint_box(self, box: Box) -> bool:
         return self._dot_interval(box).lo > self.offset
+
+    def contains_box_batch(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        return self._dot_batch(lo, hi)[1] <= self.offset
+
+    def disjoint_box_batch(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        return self._dot_batch(lo, hi)[0] > self.offset
 
     def contains_point(self, point: np.ndarray) -> bool:
         return float(self.normal @ np.asarray(point, dtype=float)) <= self.offset
@@ -132,6 +176,12 @@ class BoxSet:
 
     def disjoint_box(self, other: Box) -> bool:
         return not self.box.overlaps(other)
+
+    def contains_box_batch(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        return np.all((self.box.lo <= lo) & (hi <= self.box.hi), axis=-1)
+
+    def disjoint_box_batch(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        return ~np.all((self.box.lo <= hi) & (lo <= self.box.hi), axis=-1)
 
     def contains_point(self, point: np.ndarray) -> bool:
         return self.box.contains_point(point)

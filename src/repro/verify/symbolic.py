@@ -39,6 +39,20 @@ _TINY = np.finfo(float).tiny
 RELAXATIONS = ("reluval", "deeppoly")
 
 
+def _matvec(m: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """``m @ v`` rowwise, supporting stacked (batched) operands.
+
+    For the plain 2-D/1-D case this is literally ``m @ v`` (the scalar
+    code path, unchanged floats). With a leading batch axis on either
+    operand it becomes ``matmul(m, v[..., None])[..., 0]``, which numpy
+    evaluates as the same GEMV slice by slice — bitwise identical to
+    the per-row products (verified by the batched/scalar equivalence
+    tests)."""
+    if m.ndim == 2 and v.ndim == 1:
+        return m @ v
+    return np.matmul(m, v[..., None])[..., 0]
+
+
 @dataclass
 class LinearBounds:
     """Per-neuron linear lower/upper forms over the network inputs.
@@ -61,6 +75,15 @@ class LinearBounds:
         zeros = np.zeros(n)
         return LinearBounds(eye.copy(), zeros.copy(), eye.copy(), zeros.copy(), zeros.copy())
 
+    @staticmethod
+    def identity_batch(n: int, batch: int) -> "LinearBounds":
+        """Identity forms for a stack of ``batch`` input boxes: every
+        array gains a leading batch axis; the affine/ReLU transformers
+        below are shape-polymorphic over it."""
+        eye = np.tile(np.eye(n), (batch, 1, 1))
+        zeros = np.zeros((batch, n))
+        return LinearBounds(eye, zeros.copy(), eye.copy(), zeros.copy(), zeros.copy())
+
     def concretize(self, lo: np.ndarray, hi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Sound concrete bounds of the forms over the box ``[lo, hi]``."""
         lo_pos = np.maximum(self.lo_coeffs, 0.0)
@@ -70,15 +93,21 @@ class LinearBounds:
         xmag = np.maximum(np.abs(lo), np.abs(hi))
         err_lo = dot_error_bound(np.abs(self.lo_coeffs), xmag) + np.abs(self.lo_const) * _EPS
         err_up = dot_error_bound(np.abs(self.up_coeffs), xmag) + np.abs(self.up_const) * _EPS
-        out_lo = lo_pos @ lo + lo_neg @ hi + self.lo_const - err_lo - self.slack
-        out_hi = up_pos @ hi + up_neg @ lo + self.up_const + err_up + self.slack
+        # sound: ok [S001] nearest-mode affine evaluation; the err_lo /
+        # err_up rounding majorizers and the gamma_n slack subtracted /
+        # added here dominate the accumulated float error, and the
+        # outward nextafter below absorbs the final rounding
+        out_lo = _matvec(lo_pos, lo) + _matvec(lo_neg, hi) + self.lo_const - err_lo - self.slack
+        # sound: ok [S001] same majorizer argument as out_lo above
+        out_hi = _matvec(up_pos, hi) + _matvec(up_neg, lo) + self.up_const + err_up + self.slack
         return np.nextafter(out_lo, -np.inf), np.nextafter(out_hi, np.inf)
 
     def value_magnitude(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
         """Per-neuron magnitude bound of the forms over the box."""
         xmag = np.maximum(np.abs(lo), np.abs(hi))
-        mag_lo = np.abs(self.lo_coeffs) @ xmag + np.abs(self.lo_const)
-        mag_up = np.abs(self.up_coeffs) @ xmag + np.abs(self.up_const)
+        # sound: ok [S001] magnitude majorizer feeding the gamma_n slack
+        mag_lo = _matvec(np.abs(self.lo_coeffs), xmag) + np.abs(self.lo_const)
+        mag_up = _matvec(np.abs(self.up_coeffs), xmag) + np.abs(self.up_const)
         return np.maximum(mag_lo, mag_up) + self.slack
 
 
@@ -89,9 +118,11 @@ def _affine_transform(
     w_pos = np.maximum(w, 0.0)
     w_neg = np.minimum(w, 0.0)
     new_lo_coeffs = w_pos @ bounds.lo_coeffs + w_neg @ bounds.up_coeffs
-    new_lo_const = w_pos @ bounds.lo_const + w_neg @ bounds.up_const + b
+    # sound: ok [S001] nearest-mode matvecs covered by the gamma_n slack below
+    new_lo_const = _matvec(w_pos, bounds.lo_const) + _matvec(w_neg, bounds.up_const) + b
     new_up_coeffs = w_pos @ bounds.up_coeffs + w_neg @ bounds.lo_coeffs
-    new_up_const = w_pos @ bounds.up_const + w_neg @ bounds.lo_const + b
+    # sound: ok [S001] nearest-mode matvecs covered by the gamma_n slack below
+    new_up_const = _matvec(w_pos, bounds.up_const) + _matvec(w_neg, bounds.lo_const) + b
 
     # Rounding slack: the pre-activation values have magnitude at most
     # |W| @ mag(old forms) + |b|; the matrix products incur a gamma_n
@@ -101,7 +132,7 @@ def _affine_transform(
     n_terms = w.shape[1] + 2
     nu = n_terms * _EPS
     gamma = 2.0 * nu / (1.0 - nu)
-    new_slack = abs_w @ bounds.slack + gamma * (abs_w @ vals_mag + np.abs(b)) + _TINY
+    new_slack = _matvec(abs_w, bounds.slack) + gamma * (_matvec(abs_w, vals_mag) + np.abs(b)) + _TINY
     return LinearBounds(new_lo_coeffs, new_lo_const, new_up_coeffs, new_up_const, new_slack)
 
 
@@ -242,6 +273,60 @@ class SymbolicPropagator:
         out_lo, out_hi = bounds.concretize(lo, hi)
         # Safety net: bounds crossing by rounding noise would be a bug;
         # normalize the (never observed) pathological case soundly.
+        out_hi = np.maximum(out_hi, out_lo)
+        return out_lo, out_hi
+
+    def output_bounds_batch(
+        self, lo: np.ndarray, hi: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`output_bounds` over ``(B, n)`` box endpoints.
+
+        Every layer transformer is shape-polymorphic over a leading
+        batch axis and numpy evaluates the stacked matrix products
+        slice by slice, so row ``b`` of the result is bitwise identical
+        to ``output_bounds(Box(lo[b], hi[b]))``. One batched sweep
+        amortizes the per-layer numpy dispatch over the whole stack —
+        this is the controller-propagation kernel of the lockstep
+        reachability driver.
+        """
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+        network = self.network
+        # sound: ok [S003] shape metadata comparison, not bound values
+        if lo.ndim != 2 or lo.shape[1] != network.input_size:
+            raise ValueError(
+                f"expected (B, {network.input_size}) endpoint arrays, "
+                f"got {lo.shape}"
+            )
+        if self.relaxation != "reluval":
+            # The DeepPoly slack update indexes per-box magnitudes under
+            # a flattened unstable mask; not batch-ready. Fall back.
+            outs = [
+                self.output_bounds(Box(lo[b], hi[b])) for b in range(lo.shape[0])
+            ]
+            return np.stack([o[0] for o in outs]), np.stack([o[1] for o in outs])
+        rec = get_recorder()
+        bounds = LinearBounds.identity_batch(network.input_size, lo.shape[0])
+        if rec.enabled:
+            rec.inc("verify.propagations", lo.shape[0])
+            for w, b in zip(network.weights[:-1], network.biases[:-1]):
+                tick = time.perf_counter()
+                bounds = _affine_transform(bounds, w, b, lo, hi)
+                bounds = _relu_reluval(bounds, lo, hi)
+                rec.observe("verify.layer_seconds", time.perf_counter() - tick)
+            tick = time.perf_counter()
+            bounds = _affine_transform(
+                bounds, network.weights[-1], network.biases[-1], lo, hi
+            )
+            rec.observe("verify.layer_seconds", time.perf_counter() - tick)
+        else:
+            for w, b in zip(network.weights[:-1], network.biases[:-1]):
+                bounds = _affine_transform(bounds, w, b, lo, hi)
+                bounds = _relu_reluval(bounds, lo, hi)
+            bounds = _affine_transform(
+                bounds, network.weights[-1], network.biases[-1], lo, hi
+            )
+        out_lo, out_hi = bounds.concretize(lo, hi)
         out_hi = np.maximum(out_hi, out_lo)
         return out_lo, out_hi
 

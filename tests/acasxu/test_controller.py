@@ -105,6 +105,39 @@ class TestAcasPreAbstract:
         for i in range(5):
             assert af[i].width <= iv[i].width * (1.0 + 1e-9)
 
+    @pytest.mark.parametrize("mode", ["interval", "affine"])
+    def test_abstract_batch_bitwise(self, mode):
+        """abstract_batch rows are bitwise identical to per-box
+        abstract(), including branch-cut and degenerate-point rows."""
+        pre = AcasPre(mode)
+        boxes = [
+            Box(
+                [-500.0, 7000.0, 2.9, 700.0, 600.0],
+                [500.0, 8000.0, 3.2, 700.0, 600.0],
+            ),
+            # Behind the ownship: straddles the atan2 branch cut.
+            Box(
+                [-200.0, -6000.0, 0.0, 700.0, 600.0],
+                [200.0, -5000.0, 0.2, 700.0, 600.0],
+            ),
+            # Degenerate point box.
+            Box(
+                [100.0, 4000.0, 1.5, 700.0, 600.0],
+                [100.0, 4000.0, 1.5, 700.0, 600.0],
+            ),
+            Box(
+                [1000.0, 3000.0, 1.0, 700.0, 600.0],
+                [1400.0, 3500.0, 1.2, 700.0, 600.0],
+            ),
+        ]
+        lo = np.stack([b.lo for b in boxes])
+        hi = np.stack([b.hi for b in boxes])
+        out_lo, out_hi = pre.abstract_batch(lo, hi)
+        for r, box in enumerate(boxes):
+            want = pre.abstract(box)
+            assert out_lo[r].tobytes() == want.lo.tobytes()
+            assert out_hi[r].tobytes() == want.hi.tobytes()
+
 
 class TestBuildController:
     def _networks(self):

@@ -141,6 +141,65 @@ class TestS005UnguardedDivision:
         assert "S005" not in lint("def f(x, n):\n    return x / n\n")
 
 
+class TestS006RawBatchedUfunc:
+    def test_np_add_on_bound_array(self):
+        assert "S006" in lint(
+            "import numpy as np\ndef f(lo, x):\n    return np.add(lo, x)\n"
+        )
+
+    def test_np_multiply_on_attribute_bound(self):
+        assert "S006" in lint(
+            "import numpy as np\n"
+            "def f(batch, w):\n    return np.multiply(batch.hi, w)\n"
+        )
+
+    def test_np_einsum_on_bounds(self):
+        assert "S006" in lint(
+            "import numpy as np\n"
+            "def f(lo, m):\n    return np.einsum('ij,j->i', m, lo)\n"
+        )
+
+    def test_np_cumsum_on_bounds(self):
+        assert "S006" in lint(
+            "import numpy as np\ndef f(out_hi):\n    return np.cumsum(out_hi)\n"
+        )
+
+    def test_wrapped_in_array_up_is_clean(self):
+        assert "S006" not in lint(
+            "import numpy as np\n"
+            "def f(lo, x, array_down):\n"
+            "    return array_down(np.add(lo, x))\n"
+        )
+
+    def test_untainted_args_are_clean(self):
+        assert "S006" not in lint(
+            "import numpy as np\ndef f(a, b):\n    return np.add(a, b)\n"
+        )
+
+    def test_non_numpy_namespace_is_clean(self):
+        # Only np./numpy roots (or numpy imports) are flagged; a
+        # duck-typed .add() on some other object is out of scope.
+        assert "S006" not in lint("def f(ops, lo):\n    return ops.add(lo, 1.0)\n")
+
+    def test_pragma_suppresses_with_reason(self):
+        assert "S006" not in lint(
+            "import numpy as np\n"
+            "def f(lo, x):\n"
+            "    # sound: ok [S006] heuristic ordering key, not a bound\n"
+            "    return np.add(lo, x)\n"
+        )
+
+    def test_sanctioned_wrapper_module_exempt(self):
+        policy = Policy(
+            package_disable={"repro/intervals/batched.py": ("S006",)}
+        )
+        assert "S006" not in lint(
+            "import numpy as np\ndef f(lo, x):\n    return np.add(lo, x)\n",
+            path="src/repro/intervals/batched.py",
+            policy=policy,
+        )
+
+
 class TestScope:
     def test_out_of_scope_package_skipped(self):
         assert lint("def f(iv):\n    return iv.lo + 1.0\n", path="src/repro/nn/a.py") == []

@@ -1,0 +1,238 @@
+"""Scalar/batched equivalence of the reachability drivers.
+
+The SoA kernels promise bitwise-identical results, so these tests
+compare full driver outputs — verdicts, step counts, final symbolic
+sets down to the endpoint bytes — between the scalar per-state path
+and the batched/lockstep paths, plus the controller memo semantics the
+batched path shares with the scalar one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ReachSettings,
+    RunnerSettings,
+    SymbolicSet,
+    SymbolicState,
+    reach,
+    verify_partition,
+)
+from repro.core.reach import reach_many
+from repro.intervals import Box
+from repro.obs import Recorder, use_recorder
+
+from .fixtures import make_system, runaway_network
+
+
+def initial_set(lo: float = 2.0, hi: float = 2.2, command: int = 0) -> SymbolicSet:
+    return SymbolicSet([SymbolicState(Box([lo], [hi]), command)])
+
+
+def assert_same_result(a, b, check_counters: bool = True) -> None:
+    assert a.verdict == b.verdict
+    assert a.steps_completed == b.steps_completed
+    assert a.has_terminated == b.has_terminated
+    assert a.termination_step == b.termination_step
+    assert a.unsafe_time == b.unsafe_time
+    assert a.unsafe_command == b.unsafe_command
+    assert len(a.step_sets) == len(b.step_sets)
+    for set_a, set_b in zip(a.step_sets, b.step_sets):
+        assert len(set_a) == len(set_b)
+        for sa, sb in zip(set_a, set_b):
+            assert sa.command == sb.command
+            assert sa.box.lo.tobytes() == sb.box.lo.tobytes()
+            assert sa.box.hi.tobytes() == sb.box.hi.tobytes()
+    if check_counters:
+        assert a.joins_performed == b.joins_performed
+        assert a.integrations == b.integrations
+
+
+class TestReachBatchStates:
+    def test_regulated_loop_bitwise(self):
+        system = make_system()
+        scalar = reach(system, initial_set(), ReachSettings(substeps=4, record_sets=True))
+        batched = reach(
+            system,
+            initial_set(),
+            ReachSettings(substeps=4, batch_states=True, record_sets=True),
+        )
+        assert_same_result(scalar, batched)
+
+    def test_unsafe_loop_bitwise(self):
+        system = make_system(network=runaway_network(), error_bound=4.0)
+        scalar = reach(system, initial_set(), ReachSettings(substeps=4, record_sets=True))
+        batched = reach(
+            system,
+            initial_set(),
+            ReachSettings(substeps=4, batch_states=True, record_sets=True),
+        )
+        assert batched.verdict == scalar.verdict
+        assert_same_result(scalar, batched)
+
+    def test_multi_state_initial_set(self):
+        system = make_system()
+        multi = SymbolicSet(
+            [
+                SymbolicState(Box([2.0], [2.1]), 0),
+                SymbolicState(Box([-2.1], [-2.0]), 1),
+                SymbolicState(Box([0.5], [0.6]), 0),
+            ]
+        )
+        scalar = reach(system, multi.copy(), ReachSettings(substeps=4, record_sets=True))
+        batched = reach(
+            system, multi.copy(), ReachSettings(substeps=4, batch_states=True, record_sets=True)
+        )
+        assert_same_result(scalar, batched)
+
+    def test_env_kill_switch_forces_scalar(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCHED", "0")
+        system = make_system()
+        batched_off = reach(
+            system,
+            initial_set(),
+            ReachSettings(substeps=4, batch_states=True, record_sets=True),
+        )
+        scalar = reach(system, initial_set(), ReachSettings(substeps=4, record_sets=True))
+        assert_same_result(scalar, batched_off)
+
+
+class TestReachMany:
+    def test_matches_per_set_scalar_runs(self):
+        system = make_system()
+        initials = [
+            initial_set(2.0, 2.2),
+            initial_set(-2.2, -2.0, command=1),
+            initial_set(3.0, 3.1),
+        ]
+        settings = ReachSettings(substeps=4, record_sets=True)
+        scalars = [reach(system, s.copy(), settings) for s in initials]
+        batched = reach_many(
+            system, [s.copy() for s in initials], settings
+        )
+        assert len(batched) == len(scalars)
+        for a, b in zip(scalars, batched):
+            # reach.controller_evaluations may legitimately undercount
+            # in the wave driver (survivors of an early-exiting cell
+            # are dropped before the controller runs); everything else
+            # is bitwise.
+            assert_same_result(a, b, check_counters=True)
+
+
+class TestLockstepPartition:
+    CELLS = [
+        (Box([2.0], [2.2]), 0, {"kind": "regulated"}),
+        (Box([-2.2], [-2.0]), 1, {"kind": "mirror"}),
+        (Box([4.4], [4.6]), 0, {"kind": "near-error"}),
+        (Box([0.2], [0.4]), 0, {"kind": "inside-target"}),
+    ]
+
+    def test_batch_cells_matches_scalar(self):
+        scalar = verify_partition(
+            make_system,
+            self.CELLS,
+            RunnerSettings(reach=ReachSettings(substeps=4), workers=1),
+        )
+        lockstep = verify_partition(
+            make_system,
+            self.CELLS,
+            RunnerSettings(
+                reach=ReachSettings(substeps=4), workers=1, batch_cells=True
+            ),
+        )
+        assert len(scalar.cells) == len(lockstep.cells)
+        for a, b in zip(scalar.cells, lockstep.cells):
+            assert a.cell_id == b.cell_id
+            assert a.verdict == b.verdict
+            assert a.box.lo.tobytes() == b.box.lo.tobytes()
+            assert a.box.hi.tobytes() == b.box.hi.tobytes()
+            assert a.tags.get("kind") == b.tags.get("kind")
+        assert scalar.coverage_percent() == lockstep.coverage_percent()
+
+    def test_batch_cells_rejects_budgets_and_workers(self):
+        with pytest.raises(ValueError):
+            RunnerSettings(workers=2, batch_cells=True)
+        with pytest.raises(ValueError):
+            RunnerSettings(cell_timeout=1.0, batch_cells=True)
+        with pytest.raises(ValueError):
+            RunnerSettings(deadline=1.0, batch_cells=True)
+
+
+class TestControllerMemo:
+    def test_memo_hit_on_repeated_box(self):
+        system = make_system()
+        controller = system.controller
+        box = Box([0.5], [0.75])
+        recorder = Recorder()
+        with use_recorder(recorder):
+            first = controller.execute_abstract(box, 0)
+            second = controller.execute_abstract(box, 0)
+        assert first == second
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters.get("verify.memo_hits", 0) == 1
+
+    def test_batch_path_shares_the_memo(self):
+        system = make_system()
+        controller = system.controller
+        boxes = [Box([0.5], [0.75]), Box([-0.75], [-0.5])]
+        recorder = Recorder()
+        with use_recorder(recorder):
+            scalar_out = [
+                controller.execute_abstract(b, 0) for b in boxes
+            ]
+            batch_out = controller.execute_abstract_batch(boxes, [0, 0])
+        assert batch_out == scalar_out
+        counters = recorder.metrics.snapshot()["counters"]
+        # Every batch row was already memoized by the scalar calls.
+        assert counters.get("verify.memo_hits", 0) == len(boxes)
+
+    def test_lru_eviction(self):
+        from repro.core import ArgminPost, CommandSet, Controller, IdentityPre
+        from tests.core.fixtures import regulation_network
+
+        controller = Controller(
+            networks=[regulation_network()],
+            commands=CommandSet(np.array([[1.0], [-1.0]])),
+            pre=IdentityPre(),
+            post=ArgminPost(),
+            selector=lambda command: 0,
+            memo_size=2,
+        )
+        boxes = [Box([float(i)], [float(i) + 0.5]) for i in range(3)]
+        for box in boxes:
+            controller.execute_abstract(box, 0)
+        assert len(controller._memo) == 2
+        recorder = Recorder()
+        with use_recorder(recorder):
+            # boxes[0] was evicted (LRU), boxes[2] is still cached.
+            controller.execute_abstract(boxes[0], 0)
+            hits_after_miss = recorder.metrics.snapshot()["counters"].get(
+                "verify.memo_hits", 0
+            )
+            controller.execute_abstract(boxes[2], 0)
+            hits_after_hit = recorder.metrics.snapshot()["counters"].get(
+                "verify.memo_hits", 0
+            )
+        assert hits_after_miss == 0
+        assert hits_after_hit == 1
+
+    def test_memo_disabled(self):
+        from repro.core import ArgminPost, CommandSet, Controller, IdentityPre
+        from tests.core.fixtures import regulation_network
+
+        no_memo = Controller(
+            networks=[regulation_network()],
+            commands=CommandSet(np.array([[1.0], [-1.0]])),
+            pre=IdentityPre(),
+            post=ArgminPost(),
+            selector=lambda command: 0,
+            memo_size=0,
+        )
+        box = Box([0.5], [0.75])
+        recorder = Recorder()
+        with use_recorder(recorder):
+            no_memo.execute_abstract(box, 0)
+            no_memo.execute_abstract(box, 0)
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters.get("verify.memo_hits", 0) == 0
+        assert len(no_memo._memo) == 0
