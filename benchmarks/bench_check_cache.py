@@ -1,0 +1,54 @@
+"""Cold vs warm ``repro check``: the content-hash analysis cache.
+
+The soundness pass is meant to run pre-commit, so the warm path — every
+file unchanged, facts and findings replayed from ``.repro`` — must be
+substantially cheaper than a cold parse of the whole sound path. The
+two benches here pin that down; ``test_warm_is_faster`` is the
+regression guard (a broken world digest silently degrades every warm
+run to a cold one).
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.policy import load_policy
+from repro.analysis.visitor import check_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+UNIVERSE = [str(REPO_ROOT / "src" / "repro")]
+
+
+@pytest.fixture(scope="module")
+def policy():
+    return load_policy(REPO_ROOT / "pyproject.toml")
+
+
+def test_check_cold(benchmark, policy):
+    findings = benchmark(check_paths, UNIVERSE, policy, cache=None)
+    benchmark.extra_info["findings"] = len(findings)
+
+
+def test_check_warm(benchmark, policy, tmp_path):
+    cache = AnalysisCache(tmp_path / "check-cache.json")
+    check_paths(UNIVERSE, policy, cache=cache)
+    findings = benchmark(check_paths, UNIVERSE, policy, cache=cache)
+    benchmark.extra_info["findings"] = len(findings)
+    benchmark.extra_info["cache_hits"] = cache.hits
+
+
+def test_warm_is_faster(policy, tmp_path):
+    cache = AnalysisCache(tmp_path / "check-cache.json")
+
+    tick = time.perf_counter()
+    cold = check_paths(UNIVERSE, policy, cache=cache)
+    cold_elapsed = time.perf_counter() - tick
+
+    tick = time.perf_counter()
+    warm = check_paths(UNIVERSE, policy, cache=cache)
+    warm_elapsed = time.perf_counter() - tick
+
+    assert [f.to_dict() for f in warm] == [f.to_dict() for f in cold]
+    assert warm_elapsed < cold_elapsed

@@ -3,9 +3,12 @@
 The verifier's SAFE verdicts are only as good as the promise that every
 bound in ``repro.intervals`` / ``ode`` / ``sets`` / ``verify`` is
 computed with outward rounding. This package checks that promise
-mechanically: an AST pass (rules S001-S005) over the sound-path
-packages, with inline ``# sound: ok <reason>`` pragmas for vetted
-exceptions and a committed baseline for grandfathered findings.
+mechanically, in two whole-program passes: an interprocedural
+bound-taint dataflow feeding the soundness rules (S001-S008) over the
+sound-path packages, and a concurrency-safety pass (C001-C005) over
+the campaign runtime — with inline ``# sound: ok <reason>`` pragmas
+for vetted exceptions and a committed baseline for grandfathered
+findings.
 
 Entry points: ``repro check`` on the command line, or::
 
@@ -16,6 +19,8 @@ See ``docs/SOUNDNESS.md`` for the discipline and the rule catalogue.
 """
 
 from .baseline import load_baseline, partition, write_baseline
+from .cache import AnalysisCache
+from .concurrency import CONCURRENCY_RULES
 from .model import CheckError, Finding, Pragma, fingerprint, parse_pragma
 from .policy import Policy, load_policy
 from .report import FORMATS, render
@@ -24,6 +29,8 @@ from .visitor import check_paths, check_source
 
 __all__ = [
     "ALL_CODES",
+    "AnalysisCache",
+    "CONCURRENCY_RULES",
     "CheckError",
     "FORMATS",
     "Finding",

@@ -1,0 +1,160 @@
+"""Content-hash cache for the whole-program analysis.
+
+``repro check`` is meant to run pre-commit, so a warm run must not
+re-parse 30 files to re-derive facts that didn't change. The cache
+stores, per file:
+
+* the source content digest,
+* the extracted :class:`~repro.analysis.callgraph.ModuleFacts` (so the
+  interprocedural fixpoint can run without re-parsing the file), and
+* the findings from the last rule pass, keyed additionally by the
+  *world digest* — a hash of the solved taint state, the policy and the
+  engine version. Findings are per-file but depend on the whole program
+  (a helper in another module starting to return a bound must re-lint
+  its callers), which is exactly what the world digest captures.
+
+A cold run parses everything once; a warm no-change run parses nothing.
+Editing one file re-parses that file, re-runs the (pure-Python, fast)
+fixpoint over cached facts, and re-lints only files whose findings
+could have changed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from .callgraph import FACTS_VERSION, ModuleFacts
+from .model import Finding
+
+__all__ = ["AnalysisCache", "DEFAULT_CACHE_PATH", "content_digest"]
+
+DEFAULT_CACHE_PATH = ".repro/check-cache.json"
+
+#: Bump to invalidate every cache entry (rule/engine changes).
+CACHE_VERSION = 1
+
+
+def content_digest(source: str) -> str:
+    return hashlib.sha1(source.encode()).hexdigest()
+
+
+class AnalysisCache:
+    """Load/persist per-file facts + findings keyed by content hash."""
+
+    def __init__(self, path: str | Path = DEFAULT_CACHE_PATH) -> None:
+        self.path = Path(path)
+        self._files: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return
+        if not isinstance(data, dict):
+            return
+        if data.get("version") != CACHE_VERSION:
+            return
+        if data.get("facts_version") != FACTS_VERSION:
+            return
+        files = data.get("files")
+        if isinstance(files, dict):
+            self._files = files
+
+    def save(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_VERSION,
+            "facts_version": FACTS_VERSION,
+            "files": self._files,
+        }
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(self.path)
+
+    # -- facts --------------------------------------------------------------
+
+    def facts_for(self, path: str, digest: str) -> ModuleFacts | None:
+        entry = self._files.get(path)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        facts = entry.get("facts")
+        if facts is None:
+            return None
+        try:
+            return ModuleFacts.from_dict(facts)
+        except (KeyError, TypeError):
+            return None
+
+    def store_facts(self, path: str, digest: str, facts: ModuleFacts) -> None:
+        entry = self._files.get(path)
+        if entry is None or entry.get("digest") != digest:
+            entry = {"digest": digest}
+            self._files[path] = entry
+        entry["facts"] = facts.to_dict()
+
+    # -- findings -----------------------------------------------------------
+
+    def findings_for(self, path: str, digest: str,
+                     world: str) -> list[Finding] | None:
+        entry = self._files.get(path)
+        if (
+            entry is None
+            or entry.get("digest") != digest
+            or entry.get("world") != world
+        ):
+            self.misses += 1
+            return None
+        raw = entry.get("findings")
+        if not isinstance(raw, list):
+            self.misses += 1
+            return None
+        try:
+            findings = [
+                Finding(
+                    rule=f["rule"],
+                    path=f["path"],
+                    line=f["line"],
+                    col=f["col"],
+                    message=f["message"],
+                    snippet=f.get("snippet", ""),
+                    occurrence=f.get("occurrence", 0),
+                )
+                for f in raw
+            ]
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def store_findings(self, path: str, digest: str, world: str,
+                       findings: list[Finding]) -> None:
+        entry = self._files.get(path)
+        if entry is None or entry.get("digest") != digest:
+            entry = {"digest": digest}
+            self._files[path] = entry
+        entry["world"] = world
+        entry["findings"] = [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "snippet": f.snippet,
+                "occurrence": f.occurrence,
+            }
+            for f in findings
+        ]
+
+    def prune(self, keep: set[str]) -> None:
+        """Drop entries for files no longer in the checked universe."""
+        for path in list(self._files):
+            if path not in keep:
+                del self._files[path]

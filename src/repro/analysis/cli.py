@@ -11,10 +11,12 @@ Exit codes follow the ``stats``/``compare`` convention:
 
 from __future__ import annotations
 
+import subprocess
 import sys
 from pathlib import Path
 
 from .baseline import load_baseline, partition, write_baseline
+from .cache import DEFAULT_CACHE_PATH, AnalysisCache
 from .model import CheckError, Finding
 from .policy import load_policy
 from .report import FORMATS, render
@@ -25,6 +27,22 @@ __all__ = ["DEFAULT_BASELINE", "run_check"]
 DEFAULT_BASELINE = "soundness-baseline.json"
 
 
+def _changed_files() -> set[str]:
+    """Paths touched relative to HEAD (``git diff --name-only HEAD``)."""
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError) as error:
+        raise CheckError(
+            "--changed-only needs a git checkout with a HEAD commit"
+        ) from error
+    return {line.strip() for line in proc.stdout.splitlines() if line.strip()}
+
+
 def run_check(
     paths: list[str],
     fmt: str = "text",
@@ -32,6 +50,9 @@ def run_check(
     no_baseline: bool = False,
     update_baseline: bool = False,
     select: list[str] | None = None,
+    changed_only: bool = False,
+    no_cache: bool = False,
+    cache_path: str | None = None,
     out=None,
 ) -> int:
     """Run the soundness pass; returns the process exit code."""
@@ -43,11 +64,23 @@ def run_check(
             )
         policy = load_policy()
         if select:
-            codes = tuple(code.strip().upper() for code in select if code.strip())
+            codes = tuple(
+                part.strip().upper()
+                for code in select
+                for part in code.split(",")
+                if part.strip()
+            )
             from dataclasses import replace
 
             policy = replace(policy, select=codes)
-        findings = check_paths(list(paths), policy)
+        cache = None if no_cache else AnalysisCache(cache_path or DEFAULT_CACHE_PATH)
+        # The whole universe is always analysed — the interprocedural
+        # fixpoint needs every module's facts — but --changed-only
+        # restricts *reporting* to files in the working-tree diff.
+        findings = check_paths(list(paths), policy, cache=cache)
+        if changed_only:
+            changed = _changed_files()
+            findings = [f for f in findings if f.path in changed]
 
         if update_baseline:
             target = baseline_path or DEFAULT_BASELINE
@@ -68,6 +101,11 @@ def run_check(
                 baseline = load_baseline(resolved_baseline)
 
         new, known, stale = partition(findings, baseline)
+        if changed_only:
+            # Findings outside the diff were filtered above, so their
+            # baseline entries would all look stale; staleness is only
+            # meaningful on a full run.
+            stale = []
 
         print(render(fmt, new, known, stale), file=out)
         return 1 if new else 0

@@ -35,6 +35,8 @@ __all__ = [
     "DEFAULT_INCLUDE",
     "DEFAULT_EXCLUDE",
     "DEFAULT_PACKAGE_DISABLE",
+    "DEFAULT_CONCURRENCY_INCLUDE",
+    "DEFAULT_SANCTIONED_WRITERS",
     "Policy",
     "load_policy",
 ]
@@ -44,6 +46,9 @@ DEFAULT_INCLUDE = (
     "repro/ode",
     "repro/sets",
     "repro/verify",
+    "repro/core/reach.py",
+    "repro/core/system.py",
+    "repro/acasxu",
 )
 
 DEFAULT_EXCLUDE = ("repro/intervals/rounding.py",)
@@ -51,8 +56,22 @@ DEFAULT_EXCLUDE = ("repro/intervals/rounding.py",)
 #: ``repro/intervals/batched.py`` is the sanctioned wrapper module for
 #: batched endpoint arithmetic — S006 exists to funnel raw ufunc math
 #: *into* it, so the rule is off there by default (mirroring how
-#: ``rounding.py`` is excluded outright).
-DEFAULT_PACKAGE_DISABLE = {"repro/intervals/batched.py": ("S006",)}
+#: ``rounding.py`` is excluded outright). The same goes for S008: the
+#: structure-of-arrays layout *is* raw (lo, hi) arrays by design.
+DEFAULT_PACKAGE_DISABLE = {"repro/intervals/batched.py": ("S006", "S008")}
+
+#: Where the concurrency pass (C001-C005) runs: the fork pool, the
+#: campaign drivers and the live-telemetry layer.
+DEFAULT_CONCURRENCY_INCLUDE = (
+    "repro/core/supervisor.py",
+    "repro/core/runner.py",
+    "repro/core/checkpoint.py",
+    "repro/obs/live.py",
+)
+
+#: Functions allowed to overwrite status/journal files (C005): the
+#: atomic tmp + fsync + os.replace helper.
+DEFAULT_SANCTIONED_WRITERS = ("write_status_atomic",)
 
 
 def _segments(pattern: str) -> tuple[str, ...]:
@@ -81,11 +100,15 @@ class Policy:
     package_disable: dict = field(
         default_factory=lambda: dict(DEFAULT_PACKAGE_DISABLE)
     )
+    #: Where the concurrency pass (C001-C005) runs.
+    concurrency_include: tuple[str, ...] = DEFAULT_CONCURRENCY_INCLUDE
+    #: Function names allowed to overwrite status files (C005).
+    sanctioned_writers: tuple[str, ...] = DEFAULT_SANCTIONED_WRITERS
     #: Explicit rule selection (e.g. from ``--select``); None = all.
     select: tuple[str, ...] | None = None
 
     def in_scope(self, path: str | Path, explicit: bool = False) -> bool:
-        """Whether ``path`` is checked at all.
+        """Whether ``path`` gets the soundness (S-rule) pass.
 
         Files named explicitly on the command line are always checked
         (so fixtures and one-off files can be linted without editing the
@@ -97,6 +120,25 @@ class Policy:
         if explicit:
             return True
         return any(_matches(parts, pattern) for pattern in self.include)
+
+    def in_concurrency_scope(self, path: str | Path,
+                             explicit: bool = False) -> bool:
+        """Whether ``path`` gets the concurrency (C-rule) pass."""
+        parts = tuple(Path(path).as_posix().split("/"))
+        if any(_matches(parts, pattern) for pattern in self.exclude):
+            return False
+        if explicit:
+            return True
+        return any(
+            _matches(parts, pattern) for pattern in self.concurrency_include
+        )
+
+    def is_sanctioned(self, path: str | Path) -> bool:
+        """Excluded modules are *sanctioned*: they implement the
+        discipline (``rounding.py``), so a bound returned from one is
+        not an S007 escape."""
+        parts = tuple(Path(path).as_posix().split("/"))
+        return any(_matches(parts, pattern) for pattern in self.exclude)
 
     def rules_for(self, path: str | Path, all_codes: tuple[str, ...]) -> tuple[str, ...]:
         """The rule codes active for one in-scope file."""
@@ -136,6 +178,12 @@ def load_policy(pyproject: str | Path | None = None) -> Policy:
         raise CheckError(f"[tool.repro.soundness] in {path} must be a table")
     include = tuple(table.get("include", DEFAULT_INCLUDE))
     exclude = tuple(table.get("exclude", DEFAULT_EXCLUDE))
+    concurrency_include = tuple(
+        table.get("concurrency-include", DEFAULT_CONCURRENCY_INCLUDE)
+    )
+    sanctioned_writers = tuple(
+        table.get("sanctioned-writers", DEFAULT_SANCTIONED_WRITERS)
+    )
     rules_table = table.get("package-rules")
     if rules_table is None:
         # No table at all: keep the built-in wrapper exemption. An
@@ -148,4 +196,10 @@ def load_policy(pyproject: str | Path | None = None) -> Policy:
             package_disable[pattern] = tuple(
                 str(code).upper() for code in disabled
             )
-    return Policy(include=include, exclude=exclude, package_disable=package_disable)
+    return Policy(
+        include=include,
+        exclude=exclude,
+        package_disable=package_disable,
+        concurrency_include=concurrency_include,
+        sanctioned_writers=sanctioned_writers,
+    )

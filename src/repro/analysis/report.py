@@ -1,15 +1,18 @@
 """Rendering findings: ``text`` for humans, ``json`` for tools,
-``github`` for workflow annotations (``::error file=...``)."""
+``github`` for workflow annotations (``::error file=...``) and
+``sarif`` for code-scanning upload (SARIF 2.1.0)."""
 
 from __future__ import annotations
 
 import json
 
-from .model import Finding
+from .model import Finding, fingerprint
 
 __all__ = ["FORMATS", "render"]
 
-FORMATS = ("text", "json", "github")
+FORMATS = ("text", "json", "github", "sarif")
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def _summary_line(new: list[Finding], known: list[Finding], stale: list[dict]) -> str:
@@ -71,10 +74,80 @@ def _render_github(new: list[Finding], known: list[Finding], stale: list[dict]) 
     return "\n".join(lines)
 
 
+def _sarif_rules() -> list[dict]:
+    from .concurrency import CONCURRENCY_RULES
+    from .rules import RULES
+
+    rules = []
+    for rule in (*RULES, *CONCURRENCY_RULES):
+        rules.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+            }
+        )
+    return rules
+
+
+def _sarif_result(finding: Finding, baselined: bool) -> dict:
+    result = {
+        "ruleId": finding.rule,
+        "level": "note" if baselined else "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": max(finding.col, 1),
+                    },
+                }
+            }
+        ],
+        # Line-number independent, so code scanning tracks a finding
+        # across unrelated edits the same way the baseline does.
+        "partialFingerprints": {"reproCheck/v1": fingerprint(finding)},
+    }
+    if baselined:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "soundness-baseline.json"}
+        ]
+    return result
+
+
+def _render_sarif(new: list[Finding], known: list[Finding],
+                  stale: list[dict]) -> str:
+    del stale  # stale baseline entries have no source location to report
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": "docs/SOUNDNESS.md",
+                        "rules": _sarif_rules(),
+                    }
+                },
+                "results": [
+                    *(_sarif_result(f, baselined=False) for f in new),
+                    *(_sarif_result(f, baselined=True) for f in known),
+                ],
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
 def render(fmt: str, new: list[Finding], known: list[Finding],
            stale: list[dict]) -> str:
     if fmt == "json":
         return _render_json(new, known, stale)
     if fmt == "github":
         return _render_github(new, known, stale)
+    if fmt == "sarif":
+        return _render_sarif(new, known, stale)
     return _render_text(new, known, stale)

@@ -1,6 +1,6 @@
-"""Soundness rules S001-S006 (plus the S000 pragma-hygiene rule).
+"""Soundness rules S001-S008 (plus the S000 pragma-hygiene rule).
 
-Every rule is a heuristic *syntactic* check for a violation of the
+Every rule is a heuristic check for a violation of the
 directed-rounding discipline documented in ``docs/SOUNDNESS.md``. The
 common machinery:
 
@@ -8,7 +8,11 @@ common machinery:
   reads an interval endpoint (``.lo`` / ``.hi`` attributes, including
   derived names like ``lo_coeffs``) or mentions a bound-named variable
   (``lo``, ``out_hi``, ``conc_lo``, ``lower`` ...). Names are matched by
-  convention; the sound-path packages follow it consistently.
+  convention *and*, when the whole-program pass runs, by the
+  interprocedural dataflow in :mod:`repro.analysis.dataflow` — a bound
+  returned from a neutrally-named helper is tainted too. Rules query
+  taint through :meth:`Context.tainted`, never the name convention
+  directly.
 * **Rounding wrappers** — arithmetic enclosed (within one expression) in
   a call to a directed-rounding helper (``rounding.down``/``up``/...,
   ``math.nextafter``, ``np.nextafter``) is exempt: the wrapper is what
@@ -18,6 +22,10 @@ False positives are expected and intended to be *cheap*: a vetted site
 gets an inline ``# sound: ok <reason>`` pragma, a legacy backlog lives
 in the committed baseline. What must never happen is a silent raw-float
 bound sneaking into a new diff.
+
+The concurrency rule family (C001-C005) lives in
+:mod:`repro.analysis.concurrency`; its codes are registered here so the
+``--select``/pragma/baseline machinery treats both families uniformly.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 __all__ = [
     "ALL_CODES",
+    "CONCURRENCY_CODES",
     "RULES",
     "Rule",
     "is_bound_tainted",
@@ -216,7 +225,7 @@ class RawBoundArithmetic(Rule):
         if ctx.rounding_depth:
             return
         if isinstance(node, ast.BinOp) and isinstance(node.op, ARITH_OPS):
-            if self._is_covered(node, ctx) or not is_bound_tainted(node):
+            if self._is_covered(node, ctx) or not ctx.tainted(node):
                 return
             op = type(node.op).__name__
             ctx.report(self, node, f"raw `{op}` on a bound-carrying value")
@@ -227,7 +236,7 @@ class RawBoundArithmetic(Rule):
                 return
             if self._is_covered(node, ctx):
                 return
-            if any(is_bound_tainted(arg) for arg in node.args):
+            if any(ctx.tainted(arg) for arg in node.args):
                 ctx.report(
                     self, node, f"raw `{name}()` accumulation over bound values"
                 )
@@ -285,7 +294,7 @@ class ExactBoundComparison(Rule):
         for op, left, right in zip(node.ops, operands, operands[1:]):
             if not isinstance(op, (ast.Eq, ast.NotEq)):
                 continue
-            tainted = is_bound_tainted(left) or is_bound_tainted(right)
+            tainted = ctx.tainted(left) or ctx.tainted(right)
             if not tainted:
                 continue
             if _is_exact_constant(left) or _is_exact_constant(right):
@@ -326,7 +335,7 @@ class EndpointMutation(Rule):
             if (
                 isinstance(func, ast.Attribute)
                 and func.attr in self.MUTATORS
-                and is_bound_tainted(func.value)
+                and ctx.tainted(func.value)
             ):
                 ctx.report(self, node, f"mutating `.{func.attr}()` on endpoint storage")
             return
@@ -336,7 +345,7 @@ class EndpointMutation(Rule):
             return  # `self.lo = ...` inside __init__/__new__ is the one legal write
         for target in targets:
             for element in self._flatten(target):
-                if self._is_endpoint_store(element):
+                if self._is_endpoint_store(element, ctx):
                     ctx.report(
                         self,
                         node,
@@ -353,11 +362,11 @@ class EndpointMutation(Rule):
             yield target
 
     @staticmethod
-    def _is_endpoint_store(target: ast.expr) -> bool:
+    def _is_endpoint_store(target: ast.expr, ctx: "Context") -> bool:
         if isinstance(target, ast.Attribute):
             return bool(BOUND_NAME_RE.search(target.attr))
         if isinstance(target, ast.Subscript):
-            return is_bound_tainted(target.value)
+            return ctx.tainted(target.value)
         return False
 
 
@@ -376,7 +385,7 @@ class UnguardedDivision(Rule):
             node.op, (ast.Div, ast.FloorDiv, ast.Mod)
         ):
             return
-        if not is_bound_tainted(node.right):
+        if not ctx.tainted(node.right):
             return
         if self._function_guards(ctx.current_function, node.right):
             return
@@ -443,10 +452,104 @@ class RawBatchedUfunc(Rule):
                 return
         else:
             return
-        if not any(is_bound_tainted(arg) for arg in node.args):
+        if not any(ctx.tainted(arg) for arg in node.args):
             return
         ctx.report(
             self, node, f"raw `{ast.unparse(node.func)}` call on bound arrays"
+        )
+
+
+class UnsanctionedBoundReturn(Rule):
+    """S007: a bound-carrying value returned through an unsanctioned
+    module — the interprocedural summary says the callee returns a raw
+    endpoint, but the callee's module is neither in the soundness scope
+    (so S001-S006 never audit it) nor a sanctioned wrapper module (the
+    policy excludes)."""
+
+    code = "S007"
+    name = "unsanctioned-bound-return"
+    summary = (
+        "call returns a bound computed in a module outside the "
+        "soundness scope; move the helper into a checked package or "
+        "exclude its module as a sanctioned wrapper"
+    )
+
+    def visit(self, node: ast.AST, ctx: "Context") -> None:
+        if ctx.rounding_depth or not isinstance(node, ast.Call):
+            return
+        program = ctx.program
+        policy = ctx.policy
+        if program is None or policy is None:
+            return
+        key = ctx.resolve_call(node)
+        if key is None:
+            return
+        summary = program.summary(key)
+        if summary is None or not summary.returns_bound:
+            return
+        if summary.path == ctx.path:
+            return  # same module: S001-S006 see the helper directly
+        if policy.in_scope(summary.path):
+            return  # callee is itself under the S-rules
+        if policy.is_sanctioned(summary.path):
+            return  # excluded == sanctioned wrapper (rounding.py style)
+        ctx.report(
+            self,
+            node,
+            f"`{ast.unparse(node.func)}` returns a bound computed in "
+            f"unsanctioned module {summary.path}",
+        )
+
+
+class ContainerTaintLaundering(Rule):
+    """S008: a raw endpoint value stored into an untyped container —
+    once ``vals.append(iv.lo)`` runs, nothing marks ``vals[0]`` as a
+    bound, so every later read escapes the whole rule family."""
+
+    code = "S008"
+    name = "container-taint-laundering"
+    summary = (
+        "raw bound value stored into an untyped container loses its "
+        "taint; keep endpoints in Interval/Box objects or a bound-named "
+        "container"
+    )
+
+    APPENDERS = {"append": -1, "add": -1, "insert": 1, "appendleft": -1}
+
+    def visit(self, node: ast.AST, ctx: "Context") -> None:
+        if ctx.rounding_depth:
+            return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                return
+            arg_index = self.APPENDERS.get(func.attr)
+            if arg_index is None or not node.args:
+                return
+            try:
+                stored = node.args[arg_index]
+            except IndexError:
+                return
+            self._check(node, func.value, stored, ctx)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    self._check(node, target.value, node.value, ctx)
+                    return
+
+    def _check(self, node: ast.AST, container: ast.expr,
+               stored: ast.expr, ctx: "Context") -> None:
+        if isinstance(stored, ast.Call):
+            return  # wrapping in a constructor keeps the value typed
+        if is_bound_tainted(container):
+            return  # a bound-named container keeps the taint visible
+        if not ctx.tainted(stored):
+            return
+        ctx.report(
+            self,
+            node,
+            f"bound value stored into untyped container "
+            f"`{ast.unparse(container)}`",
         )
 
 
@@ -457,10 +560,20 @@ RULES: tuple[Rule, ...] = (
     EndpointMutation(),
     UnguardedDivision(),
     RawBatchedUfunc(),
+    UnsanctionedBoundReturn(),
+    ContainerTaintLaundering(),
 )
 
-#: Codes of the traversal rules plus the engine-level pragma rule S000.
-ALL_CODES: tuple[str, ...] = ("S000",) + tuple(rule.code for rule in RULES)
+#: Codes of the concurrency rule family (rule objects live in
+#: :mod:`repro.analysis.concurrency`; the codes are registered here so
+#: select/pragma/baseline handling treats both passes uniformly).
+CONCURRENCY_CODES: tuple[str, ...] = ("C001", "C002", "C003", "C004", "C005")
+
+#: Every rule code: the engine-level pragma rule S000, the soundness
+#: traversal rules, and the concurrency family.
+ALL_CODES: tuple[str, ...] = (
+    ("S000",) + tuple(rule.code for rule in RULES) + CONCURRENCY_CODES
+)
 
 
 def rule_by_code(code: str) -> Rule | None:

@@ -1,33 +1,55 @@
-"""The traversal engine: one AST walk per module, all rules in lockstep.
+"""The two-pass whole-program engine behind ``repro check``.
 
-The walker maintains the little bit of context the rules need — the
-enclosing statement (for pragma scoping), the enclosing function (for
-zero-guard and constructor checks), and the *rounding depth*: how many
-directed-rounding calls (``rounding.up(...)``, ``np.nextafter(...)``)
-enclose the current node within the same expression. Arithmetic at
-positive rounding depth is exactly the code the discipline asks for, so
-S001/S002 stay quiet there.
+Checking is now whole-program: every file named on the command line is
+first distilled into :class:`~repro.analysis.callgraph.ModuleFacts`
+(imports, call sites, per-function assignment/return skeletons), the
+interprocedural taint fixpoint runs over the whole universe
+(:class:`~repro.analysis.dataflow.ProgramTaint`), and only then does
+each in-scope file get its rule walk:
+
+* **Pass 1 (soundness, S-rules)** — the classic AST walk, but taint
+  queries go through :meth:`Context.tainted`, which ORs the name
+  convention with the dataflow result. A bound returned from a
+  neutrally-named helper two modules away now trips S001 at the use
+  site, and S007/S008 use the summaries directly.
+* **Pass 2 (concurrency, C-rules)** — module-level structural checks
+  over the fork/thread/signal surface (see
+  :mod:`repro.analysis.concurrency`), sharing the same Context, so
+  pragmas and baselines behave identically.
+
+The walker still maintains the per-expression context the rules need —
+the enclosing statement (pragma scoping), the enclosing function
+(zero-guard/constructor checks), the *rounding depth* (arithmetic under
+``rounding.up(...)`` is the discipline, not a violation), and now the
+enclosing qualified name, which is how taint queries find the right
+dataflow summary.
 
 Pragmas (``# sound: ok <reason>``) are collected with ``tokenize`` so a
 ``#`` inside a string literal cannot fake one. A pragma anywhere on the
 physical lines of a statement suppresses matching findings in that whole
-statement — one pragma covers a multi-line expression. Unused pragmas
-and pragmas without a reason are themselves reported (S000) so the
-suppression inventory cannot silently rot.
+statement; unused pragmas and pragmas without a reason are themselves
+reported (S000) so the suppression inventory cannot silently rot.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
+import json
 import tokenize
 from pathlib import Path
+from typing import Sequence
 
+from .cache import AnalysisCache, content_digest
+from .callgraph import ModuleFacts, ProgramIndex, extract_module_facts
+from .concurrency import CONCURRENCY_RULES, collect_concurrency_facts
+from .dataflow import ProgramTaint
 from .model import CheckError, Finding, Pragma, parse_pragma
 from .policy import Policy
-from .rules import RULES, Rule, is_rounding_call
+from .rules import ALL_CODES, RULES, Rule, is_bound_tainted, is_rounding_call
 
-__all__ = ["Context", "check_paths", "check_source"]
+__all__ = ["ALL_CODES", "Context", "check_paths", "check_source"]
 
 _CONSTRUCTORS = frozenset({"__init__", "__new__", "__setstate__", "__post_init__"})
 
@@ -36,17 +58,24 @@ class Context:
     """What one rule sees while the engine walks one module."""
 
     def __init__(self, path: str, source_lines: list[str], pragmas: list[Pragma],
-                 active_codes: tuple[str, ...]) -> None:
+                 active_codes: tuple[str, ...],
+                 policy: Policy | None = None,
+                 program: ProgramTaint | None = None,
+                 module_facts: ModuleFacts | None = None) -> None:
         self.path = path
         self._lines = source_lines
         self._pragmas = pragmas
         self._active = set(active_codes)
+        self.policy = policy
+        self.program = program
+        self.module_facts = module_facts
         self.findings: list[Finding] = []
         self.rounding_depth = 0
         #: Names imported from math/numpy (``from math import sin``).
         self.numeric_imports: set[str] = set()
         self._stmt_stack: list[ast.stmt] = []
         self._func_stack: list[ast.AST] = []
+        self._scope_names: list[tuple[str, str]] = []
         self._class_depth = 0
         self._covered: set[tuple[str, int]] = set()
 
@@ -55,6 +84,20 @@ class Context:
     @property
     def current_function(self) -> ast.AST | None:
         return self._func_stack[-1] if self._func_stack else None
+
+    @property
+    def current_qualname(self) -> str | None:
+        """Dotted scope name matching the callgraph facts' qualnames."""
+        if not any(kind == "func" for kind, _ in self._scope_names):
+            return None
+        return ".".join(name for _, name in self._scope_names)
+
+    @property
+    def current_class(self) -> str | None:
+        for kind, name in reversed(self._scope_names):
+            if kind == "class":
+                return name
+        return None
 
     @property
     def in_constructor(self) -> bool:
@@ -73,25 +116,58 @@ class Context:
     def is_covered(self, code: str, node: ast.AST) -> bool:
         return (code, id(node)) in self._covered
 
+    # -- taint --------------------------------------------------------------
+
+    def tainted(self, node: ast.AST) -> bool:
+        """Name-convention taint ORed with the interprocedural result."""
+        if is_bound_tainted(node):
+            return True
+        if self.program is None or self.module_facts is None:
+            return False
+        qualname = self.current_qualname
+        local_taint = (
+            self.program.tainted_locals(self.module_facts, qualname)
+            if qualname is not None
+            else frozenset()
+        )
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in local_taint:
+                return True
+            if isinstance(sub, ast.Call):
+                key = self.resolve_call(sub)
+                if key is not None and key in self.program.returns_bound:
+                    return True
+        return False
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Resolve a call to a function key via the program index."""
+        if self.program is None or self.module_facts is None:
+            return None
+        return self.program.index.resolve_call(
+            self.module_facts, node, self.current_class
+        )
+
     # -- reporting ----------------------------------------------------------
 
-    def report(self, rule: Rule, node: ast.AST, detail: str) -> None:
-        if rule.code not in self._active:
+    def report(self, rule: object, node: ast.AST, detail: str) -> None:
+        code = getattr(rule, "code", "")
+        name = getattr(rule, "name", "")
+        if code not in self._active:
             return
         line = getattr(node, "lineno", 0)
         col = getattr(node, "col_offset", 0)
-        if self._suppressed(rule.code, node):
+        if self._suppressed(code, node):
             return
         snippet = ""
         if 0 < line <= len(self._lines):
             snippet = self._lines[line - 1].strip()
         self.findings.append(
             Finding(
-                rule=rule.code,
+                rule=code,
                 path=self.path,
                 line=line,
                 col=col + 1,
-                message=f"{detail} [{rule.name}]",
+                message=f"{detail} [{name}]",
                 snippet=snippet,
             )
         )
@@ -139,8 +215,10 @@ class _Walker:
             ctx._stmt_stack.append(node)
         if is_func:
             ctx._func_stack.append(node)
+            ctx._scope_names.append(("func", node.name))
         if is_class:
             ctx._class_depth += 1
+            ctx._scope_names.append(("class", node.name))
         try:
             if isinstance(node, ast.ImportFrom) and node.module in ("math", "numpy"):
                 for alias in node.names:
@@ -167,8 +245,10 @@ class _Walker:
                 ctx._stmt_stack.pop()
             if is_func:
                 ctx._func_stack.pop()
+                ctx._scope_names.pop()
             if is_class:
                 ctx._class_depth -= 1
+                ctx._scope_names.pop()
 
 
 def _collect_pragmas(source: str, path: str) -> list[Pragma]:
@@ -199,32 +279,47 @@ def _assign_occurrences(findings: list[Finding]) -> list[Finding]:
     return out
 
 
-def check_source(source: str, path: str, policy: Policy | None = None,
-                 explicit: bool = False) -> list[Finding]:
-    """Lint one module's source text; returns its findings.
+def _parse(source: str, path: str) -> ast.Module:
+    try:
+        return ast.parse(source, filename=path)
+    except SyntaxError as error:
+        line = error.lineno or 0
+        raise CheckError(f"{path}:{line}: syntax error: {error.msg}") from error
 
-    Raises :class:`CheckError` on a syntax error (the caller turns that
-    into exit code 2 — a file we cannot parse is a file we cannot vouch
-    for, which is an input problem, not a crash).
-    """
-    policy = policy or Policy()
-    from .rules import ALL_CODES
 
-    if not policy.in_scope(path, explicit=explicit):
+def _check_module(
+    source: str,
+    tree: ast.Module,
+    path: str,
+    policy: Policy,
+    explicit: bool,
+    program: ProgramTaint | None,
+    module_facts: ModuleFacts | None,
+) -> list[Finding]:
+    """Run both rule passes over one parsed module."""
+    soundness = policy.in_scope(path, explicit=explicit)
+    concurrency = policy.in_concurrency_scope(path, explicit=explicit)
+    if not soundness and not concurrency:
         return []
     active = policy.rules_for(path, ALL_CODES)
     if not active:
         return []
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as error:
-        line = error.lineno or 0
-        raise CheckError(f"{path}:{line}: syntax error: {error.msg}") from error
     pragmas = _collect_pragmas(source, path)
     lines = source.splitlines()
-    ctx = Context(path, lines, pragmas, active)
-    rules = tuple(rule for rule in RULES if rule.code in active)
-    _Walker(ctx, rules).walk(tree)
+    ctx = Context(
+        path, lines, pragmas, active,
+        policy=policy, program=program, module_facts=module_facts,
+    )
+    if soundness:
+        rules = tuple(rule for rule in RULES if rule.code in active)
+        if rules:
+            _Walker(ctx, rules).walk(tree)
+    if concurrency:
+        c_rules = [r for r in CONCURRENCY_RULES if r.code in active]
+        if c_rules:
+            facts = collect_concurrency_facts(tree)
+            for c_rule in c_rules:
+                c_rule.check_module(tree, facts, ctx)
     if "S000" in active:
         for pragma in pragmas:
             if not pragma.reason:
@@ -245,7 +340,27 @@ def check_source(source: str, path: str, policy: Policy | None = None,
     return _assign_occurrences(ctx.findings)
 
 
-def _iter_files(paths: list[str | Path]) -> list[tuple[Path, bool]]:
+def check_source(source: str, path: str, policy: Policy | None = None,
+                 explicit: bool = False) -> list[Finding]:
+    """Lint one module's source text; returns its findings.
+
+    The module is its own one-file universe: the interprocedural pass
+    still runs, so a bound returned from a same-module helper is seen,
+    but nothing outside the text is consulted. Raises
+    :class:`CheckError` on a syntax error (the caller turns that into
+    exit code 2 — a file we cannot parse is a file we cannot vouch for,
+    which is an input problem, not a crash).
+    """
+    policy = policy or Policy()
+    tree = _parse(source, path)
+    facts = extract_module_facts(tree, path)
+    program = ProgramTaint(ProgramIndex({path: facts}))
+    return _check_module(
+        source, tree, path, policy, explicit, program, facts
+    )
+
+
+def _iter_files(paths: Sequence[str | Path]) -> list[tuple[Path, bool]]:
     """Expand the command-line paths to (file, was_explicit) pairs."""
     out: list[tuple[Path, bool]] = []
     for raw in paths:
@@ -259,12 +374,41 @@ def _iter_files(paths: list[str | Path]) -> list[tuple[Path, bool]]:
     return out
 
 
-def check_paths(paths: list[str | Path], policy: Policy | None = None) -> list[Finding]:
-    """Lint files and directories; directories are filtered by policy,
-    explicitly named files are always checked (excludes still apply)."""
+def _policy_digest(policy: Policy) -> str:
+    payload = {
+        "include": list(policy.include),
+        "exclude": list(policy.exclude),
+        "package_disable": {
+            k: list(v) for k, v in sorted(policy.package_disable.items())
+        },
+        "concurrency_include": list(policy.concurrency_include),
+        "sanctioned_writers": list(policy.sanctioned_writers),
+        "select": list(policy.select) if policy.select is not None else None,
+        "codes": list(ALL_CODES),
+    }
+    return hashlib.sha1(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()[:16]
+
+
+def check_paths(
+    paths: Sequence[str | Path],
+    policy: Policy | None = None,
+    cache: AnalysisCache | None = None,
+) -> list[Finding]:
+    """Whole-program check over files and directories.
+
+    Directories are filtered by policy; explicitly named files are
+    always checked (excludes still apply). Every file contributes facts
+    to the interprocedural fixpoint even when out of scope for both
+    rule passes — out-of-scope modules are exactly what S007 needs
+    summaries for. With a :class:`~repro.analysis.cache.AnalysisCache`,
+    unchanged files skip parsing (facts are cached) and unchanged
+    worlds skip the rule pass entirely (findings are cached).
+    """
     policy = policy or Policy()
-    findings: list[Finding] = []
     seen: set[Path] = set()
+    universe: list[tuple[str, str, bool]] = []  # (path, source, explicit)
     for file, explicit in _iter_files(paths):
         resolved = file.resolve()
         if resolved in seen:
@@ -274,7 +418,49 @@ def check_paths(paths: list[str | Path], policy: Policy | None = None) -> list[F
             source = file.read_text()
         except (OSError, UnicodeDecodeError) as error:
             raise CheckError(f"could not read {file}: {error}") from error
-        findings.extend(
-            check_source(source, file.as_posix(), policy, explicit=explicit)
+        universe.append((file.as_posix(), source, explicit))
+
+    trees: dict[str, ast.Module] = {}
+    facts: dict[str, ModuleFacts] = {}
+    digests: dict[str, str] = {}
+    for path, source, _ in universe:
+        digest = content_digest(source)
+        digests[path] = digest
+        cached = cache.facts_for(path, digest) if cache is not None else None
+        if cached is not None:
+            facts[path] = cached
+            continue
+        tree = _parse(source, path)
+        trees[path] = tree
+        facts[path] = extract_module_facts(tree, path)
+        if cache is not None:
+            cache.store_facts(path, digest, facts[path])
+
+    program = ProgramTaint(ProgramIndex(facts))
+    world = hashlib.sha1(
+        f"{program.digest()}::{_policy_digest(policy)}".encode()
+    ).hexdigest()[:16]
+
+    findings: list[Finding] = []
+    for path, source, explicit in universe:
+        # Explicitly named files have a wider scope, so their cached
+        # findings must not be reused for a directory-filtered run.
+        file_world = f"{world}:x" if explicit else world
+        if cache is not None:
+            cached_findings = cache.findings_for(path, digests[path], file_world)
+            if cached_findings is not None:
+                findings.extend(cached_findings)
+                continue
+        tree = trees.get(path)
+        if tree is None:
+            tree = _parse(source, path)
+        module_findings = _check_module(
+            source, tree, path, policy, explicit, program, facts[path]
         )
+        findings.extend(module_findings)
+        if cache is not None:
+            cache.store_findings(path, digests[path], file_world, module_findings)
+    if cache is not None:
+        cache.prune(set(digests))
+        cache.save()
     return findings

@@ -781,6 +781,9 @@ def cmd_check(args: argparse.Namespace) -> int:
         no_baseline=args.no_baseline,
         update_baseline=args.update_baseline,
         select=args.select,
+        changed_only=args.changed_only,
+        no_cache=args.no_cache,
+        cache_path=args.cache,
     )
 
 
@@ -1004,8 +1007,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_check = sub.add_parser(
         "check",
-        help="soundness lint: enforce the directed-rounding discipline "
-        "on the sound-path packages (rules S001-S005)",
+        help="soundness lint: interprocedural directed-rounding discipline "
+        "(rules S001-S008) plus the concurrency-safety pass (C001-C005)",
     )
     p_check.add_argument(
         "paths",
@@ -1016,8 +1019,9 @@ def build_parser() -> argparse.ArgumentParser:
         "explicit files are always checked)",
     )
     p_check.add_argument(
-        "--format", choices=["text", "json", "github"], default="text",
-        help="output format (github emits workflow annotations)",
+        "--format", choices=["text", "json", "github", "sarif"], default="text",
+        help="output format (github emits workflow annotations, "
+        "sarif emits SARIF 2.1.0 for code-scanning upload)",
     )
     p_check.add_argument(
         "--baseline",
@@ -1033,7 +1037,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument(
         "--select", action="append",
-        help="only run these rule codes (repeatable, e.g. --select S001)",
+        help="only run these rule codes (repeatable or comma-separated, "
+        "e.g. --select S001,S004)",
+    )
+    p_check.add_argument(
+        "--changed-only", action="store_true",
+        help="report findings only in files changed vs HEAD "
+        "(git diff --name-only; the whole-program analysis still runs)",
+    )
+    p_check.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-hash analysis cache",
+    )
+    p_check.add_argument(
+        "--cache",
+        help="analysis cache path (default: .repro/check-cache.json)",
     )
     p_check.set_defaults(fn=cmd_check)
 

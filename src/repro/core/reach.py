@@ -373,6 +373,9 @@ def reach_many(
             erroneous_now = resolve_for_command(erroneous, command)
             checker = getattr(erroneous_now, "disjoint_box_batch", None)
             if checker is not None:
+                # sound: ok [S004] disjoint_all is a boolean disjointness
+                # scratch table, not interval endpoint storage; the taint
+                # arrives transitively through substep metadata.
                 disjoint_all[:, rows] = checker(
                     pipes.range_lo[:, rows, :], pipes.range_hi[:, rows, :]
                 )
@@ -380,6 +383,8 @@ def reach_many(
                 for r in rows:
                     range_lo, range_hi = pipes.range_arrays(r)
                     for k in range(substep_count):
+                        # sound: ok [S004] same boolean scratch table as the
+                        # batched branch above.
                         disjoint_all[k, r] = erroneous_now.disjoint_box(
                             Box(range_lo[k], range_hi[k])
                         )
@@ -428,20 +433,16 @@ def reach_many(
                 survivor_states.append(state)
                 survivor_rows.append(row)
                 cell.survivors += 1
-            if exited and cell.survivors:
-                # Drop this cell's earlier states from the wave: the
-                # scalar path would still have evaluated the controller
-                # for them before reaching the unsafe state, but their
-                # results are discarded with the early exit, so the
-                # batched path skips them (reach.controller_evaluations
-                # can therefore undercount relative to scalar; verdicts
-                # and boxes are unaffected).
-                del survivor_states[-cell.survivors :]
-                del survivor_rows[-cell.survivors :]
-                cell.survivors = 0
+            # On early exit the cell keeps its survivor rows: the scalar
+            # path evaluates the controller for every state processed
+            # before the unsafe one (and only then returns), so those
+            # rows stay in the controller batch to keep
+            # reach.controller_evaluations identical between the two
+            # paths. Their successors are discarded during assembly.
             cell.elapsed += time.perf_counter() - tick
 
         # --- one batched controller evaluation over every surviving state
+        wave = live
         live = [c for c in live if not c.finished]
         command_lists: list[list[int]] = []
         if survivor_states:
@@ -460,16 +461,23 @@ def reach_many(
                     ]
             rec.inc("reach.controller_evaluations", len(survivor_states))
             controller_elapsed = time.perf_counter() - tick
-            for cell in live:
+            for cell in wave:
                 cell.elapsed += (
                     controller_elapsed * cell.survivors / len(survivor_states)
                 )
 
         # --- per-cell successor assembly and termination check
         cursor = 0
-        for cell in live:
+        for cell in wave:
             tick = time.perf_counter()
             result = cell.result
+            if cell.finished:
+                # Early-exited cell: count the controller work done for
+                # its pre-unsafe states, drop the successors.
+                result.controller_evaluations += cell.survivors
+                cursor += cell.survivors
+                cell.elapsed += time.perf_counter() - tick
+                continue
             next_set = SymbolicSet()
             for _ in range(cell.survivors):
                 row = survivor_rows[cursor]

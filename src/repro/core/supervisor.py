@@ -134,11 +134,15 @@ def budget_guard(seconds: float | None, scope: str = "budget") -> Iterator[None]
     outermost = not _GUARDS
     if outermost:
         previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    # sound: ok [C001] _GUARDS is per-process by design: each fork
+    # worker arms budgets against its own copy and nothing reads it
+    # across the fork boundary.
     _GUARDS.append(entry)
     _arm_earliest()
     try:
         yield
     finally:
+        # sound: ok [C001] same per-process guard stack as the append.
         _GUARDS.remove(entry)
         _arm_earliest()
         if outermost:
@@ -268,10 +272,16 @@ def trap_shutdown_signals() -> Iterator[ShutdownFlag]:
         if flag.requested:
             raise KeyboardInterrupt
         flag.signum = signum
-        logger.warning(
-            "received %s: draining in-flight cells, then stopping "
-            "(repeat to abort immediately)",
-            signal.Signals(signum).name,
+        # Not logger.warning: the logging module takes a lock, and a
+        # handler interrupting a frame that already holds it would
+        # deadlock. os.write is async-signal-safe.
+        os.write(
+            2,
+            (
+                f"received {signal.Signals(signum).name}: draining "
+                "in-flight cells, then stopping (repeat to abort "
+                "immediately)\n"
+            ).encode(),
         )
 
     previous = {

@@ -336,6 +336,8 @@ class CampaignSnapshot:
     def _worker(self, wid: int) -> WorkerState:
         state = self.workers.get(wid)
         if state is None:
+            # sound: ok [C004] _worker is only reached from on_event/to_dict,
+            # both of which already hold self._lock around the call.
             state = self.workers[wid] = WorkerState(id=wid)
         return state
 
@@ -537,6 +539,8 @@ class HeartbeatReporter:
                 return  # pipe gone: the parent is shutting us down
 
     def start(self) -> "HeartbeatReporter":
+        # sound: ok [C004] the thread handle is touched only by the owning
+        # thread in start()/stop(); _loop never reads self._thread.
         self._thread = threading.Thread(
             target=self._loop, name="repro-heartbeat", daemon=True
         )
@@ -547,6 +551,8 @@ class HeartbeatReporter:
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=2.0)
+            # sound: ok [C004] owner-thread cleanup after join; the worker
+            # thread has exited by the time the handle is cleared.
             self._thread = None
 
     def __enter__(self) -> "HeartbeatReporter":

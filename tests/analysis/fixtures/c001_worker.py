@@ -1,0 +1,25 @@
+"""Seeded C001 fixture: a fork worker mutating module state.
+
+``tally`` is reachable from the ``Process(target=...)`` entry point and
+assigns a module-level name — each forked worker would mutate its own
+copy-on-write snapshot, silently diverging from the parent.
+"""
+
+import multiprocessing
+
+COUNTER = 0
+
+
+def tally(n):
+    global COUNTER
+    COUNTER = COUNTER + n
+
+
+def worker(n):
+    tally(n)
+
+
+def launch():
+    proc = multiprocessing.Process(target=worker, args=(1,))
+    proc.start()
+    return proc

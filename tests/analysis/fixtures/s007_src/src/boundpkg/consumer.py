@@ -1,0 +1,16 @@
+"""In-scope consumer: calls the out-of-scope bound-returning helper.
+
+The seeded S007 detection: ``widest`` lives in an unsanctioned module,
+its summary says it returns a bound, so the call here must fire.
+"""
+
+from .helpers import neutral, widest
+
+
+def shrink(box):
+    w = widest(box)
+    return w
+
+
+def fine(n):
+    return neutral(n)

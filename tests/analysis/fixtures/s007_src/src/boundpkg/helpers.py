@@ -1,0 +1,14 @@
+"""Out-of-scope helper module: returns a raw bound (S007 seed).
+
+This file is deliberately NOT covered by the fixture policy's include
+list, so the directed-rounding rules never audit it — which is exactly
+why a bound escaping through it is an S007 finding at the call site.
+"""
+
+
+def widest(box):
+    return box.lo
+
+
+def neutral(n):
+    return n * 2

@@ -63,6 +63,41 @@ class TestPartition:
         assert new == [] and len(known) == 1 and stale == []
 
 
+class TestMixedFamilies:
+    """One baseline holds both S- and C-family findings."""
+
+    def mixed(self):
+        return [
+            make(),
+            make(rule="C001", path="src/repro/core/supervisor.py",
+                 snippet="STATE = 1"),
+            make(rule="C005", path="src/repro/core/checkpoint.py",
+                 snippet='open(path, "w")'),
+        ]
+
+    def test_roundtrip_keeps_both_families(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, self.mixed())
+        loaded = load_baseline(path)
+        assert {e["rule"] for e in loaded.values()} == {"S001", "C001", "C005"}
+
+    def test_fixing_one_family_leaves_the_other_known(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, self.mixed())
+        # The concurrency findings get fixed; the S finding remains.
+        new, known, stale = partition([make()], load_baseline(path))
+        assert new == []
+        assert [f.rule for f in known] == ["S001"]
+        assert sorted(e["rule"] for e in stale) == ["C001", "C005"]
+
+    def test_rewrite_prunes_the_fixed_family(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, self.mixed())
+        write_baseline(path, [make()])  # refresh after the C fixes land
+        new, known, stale = partition([make()], load_baseline(path))
+        assert new == [] and len(known) == 1 and stale == []
+
+
 class TestRoundTrip:
     def test_write_then_load(self, tmp_path):
         path = tmp_path / "baseline.json"

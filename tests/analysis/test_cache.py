@@ -1,0 +1,119 @@
+"""The content-hash analysis cache: hits, invalidation, world digest."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import Policy
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.visitor import check_paths
+
+HELPER = """
+    def endpoint(box):
+        return box.lo
+"""
+
+CONSUMER = """
+    from repro.intervals.helper import endpoint
+
+    def use(box):
+        v = endpoint(box)
+        return v + 1.0
+"""
+
+
+def make_universe(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "intervals"
+    pkg.mkdir(parents=True)
+    helper = pkg / "helper.py"
+    consumer = pkg / "consumer.py"
+    helper.write_text(textwrap.dedent(HELPER))
+    consumer.write_text(textwrap.dedent(CONSUMER))
+    return pkg, helper, consumer
+
+
+def check(pkg, cache):
+    return check_paths([pkg], Policy(), cache=cache)
+
+
+class TestWarmRuns:
+    def test_warm_run_hits_and_matches(self, tmp_path):
+        pkg, _, _ = make_universe(tmp_path)
+        cache = AnalysisCache(tmp_path / "cache.json")
+        cold = check(pkg, cache)
+        assert cache.hits == 0
+        warm = check(pkg, cache)
+        assert cache.hits == 2  # both files replayed from cache
+        assert [f.to_dict() for f in warm] == [f.to_dict() for f in cold]
+
+    def test_cache_survives_reload(self, tmp_path):
+        pkg, _, _ = make_universe(tmp_path)
+        path = tmp_path / "cache.json"
+        check(pkg, AnalysisCache(path))
+        reloaded = AnalysisCache(path)
+        check(pkg, reloaded)
+        assert reloaded.hits == 2
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        pkg, _, _ = make_universe(tmp_path)
+        path = tmp_path / "cache.json"
+        path.write_text("{torn")
+        cache = AnalysisCache(path)
+        findings = check(pkg, cache)
+        assert cache.hits == 0
+        assert any(f.rule == "S001" for f in findings)
+
+
+class TestInvalidation:
+    def test_editing_a_file_misses_its_entry(self, tmp_path):
+        pkg, _, consumer = make_universe(tmp_path)
+        cache = AnalysisCache(tmp_path / "cache.json")
+        check(pkg, cache)
+        consumer.write_text(
+            textwrap.dedent(CONSUMER) + "\n\nEXTRA = 1.5\n"
+        )
+        check(pkg, cache)
+        assert cache.misses >= 1
+
+    def test_world_digest_relints_callers_of_edited_helper(self, tmp_path):
+        # The helper stops returning a bound; the consumer file is
+        # UNCHANGED but its finding must disappear — the world digest
+        # is what forces the re-lint.
+        pkg, helper, _ = make_universe(tmp_path)
+        cache = AnalysisCache(tmp_path / "cache.json")
+        before = check(pkg, cache)
+        assert any(f.rule == "S001" for f in before)
+        helper.write_text("def endpoint(box):\n    return 0.0\n")
+        after = check(pkg, cache)
+        assert all(f.rule != "S001" for f in after)
+
+    def test_policy_change_invalidates_findings(self, tmp_path):
+        pkg, _, _ = make_universe(tmp_path)
+        cache = AnalysisCache(tmp_path / "cache.json")
+        check_paths([pkg], Policy(), cache=cache)
+        check_paths([pkg], Policy(select=("S003",)), cache=cache)
+        assert cache.hits == 0
+
+    def test_explicit_files_use_a_separate_world(self, tmp_path):
+        pkg, helper, consumer = make_universe(tmp_path)
+        cache = AnalysisCache(tmp_path / "cache.json")
+        check_paths([pkg], Policy(), cache=cache)
+        # Explicitly named files are always in scope, so directory-run
+        # findings must not be replayed for them.
+        explicit = check_paths(
+            [helper, consumer], Policy(include=()), cache=cache
+        )
+        assert cache.hits == 0
+        assert any(f.rule == "S001" for f in explicit)
+
+
+class TestPruning:
+    def test_deleted_files_drop_out(self, tmp_path):
+        pkg, helper, _ = make_universe(tmp_path)
+        path = tmp_path / "cache.json"
+        cache = AnalysisCache(path)
+        check(pkg, cache)
+        helper_key = Path(helper).as_posix()
+        assert helper_key in cache._files
+        helper.unlink()
+        check(pkg, cache)
+        assert helper_key not in cache._files

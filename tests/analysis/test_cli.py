@@ -5,6 +5,7 @@ import json
 from pathlib import Path
 
 from repro.analysis.cli import run_check
+from repro.analysis.model import CheckError
 from repro.cli import main
 
 FIXTURE = Path(__file__).parent / "fixtures" / "raw_bound.py"
@@ -97,6 +98,110 @@ class TestSelect:
         assert code == 1
         # Findings are S001 only (plus no S000 hygiene under select).
         assert "S001" in output and "S005" not in output
+
+    def test_select_accepts_comma_separated_codes(self):
+        # "S005" alone matches nothing in the fixture; the comma list
+        # must split into both codes, so S001 still fires.
+        code, output = run([FIXTURE], select=["s005"], no_baseline=True)
+        assert code == 0
+        code, output = run(
+            [FIXTURE], select=["s001,S005"], no_baseline=True
+        )
+        assert code == 1
+        assert "S001" in output
+
+
+class TestSarif:
+    def sarif(self, **kwargs):
+        code, output = run([FIXTURE], fmt="sarif", **kwargs)
+        return code, json.loads(output)
+
+    def test_payload_shape(self):
+        code, payload = self.sarif(no_baseline=True)
+        assert code == 1
+        assert payload["version"] == "2.1.0"
+        (sarif_run,) = payload["runs"]
+        driver = sarif_run["tool"]["driver"]
+        assert driver["name"] == "repro-check"
+        rule_ids = {r["id"] for r in driver["rules"]}
+        assert {"S001", "S007", "S008", "C001", "C005"} <= rule_ids
+
+    def test_results_carry_fingerprints_and_locations(self):
+        _, payload = self.sarif(no_baseline=True)
+        results = payload["runs"][0]["results"]
+        assert results
+        for result in results:
+            assert result["partialFingerprints"]["reproCheck/v1"]
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+
+    def test_baselined_findings_are_suppressed_notes(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        run([FIXTURE], update_baseline=True, baseline_path=str(baseline))
+        code, payload = self.sarif(baseline_path=str(baseline))
+        assert code == 0
+        results = payload["runs"][0]["results"]
+        assert results  # baselined findings still reported...
+        for result in results:  # ...but downgraded and suppressed
+            assert result["level"] == "note"
+            assert result["suppressions"][0]["kind"] == "external"
+
+
+class TestChangedOnly:
+    def test_reports_only_diffed_files(self, tmp_path, monkeypatch):
+        noisy = tmp_path / "noisy.py"
+        noisy.write_text(FIXTURE.read_text())
+        quiet_copy = tmp_path / "other.py"
+        quiet_copy.write_text(FIXTURE.read_text())
+        monkeypatch.setattr(
+            "repro.analysis.cli._changed_files",
+            lambda: {noisy.as_posix()},
+        )
+        code, output = run(
+            [noisy, quiet_copy], no_baseline=True, changed_only=True
+        )
+        assert code == 1
+        assert "noisy.py" in output
+        assert "other.py" not in output
+
+    def test_empty_diff_is_clean(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.analysis.cli._changed_files", lambda: set()
+        )
+        code, output = run([FIXTURE], no_baseline=True, changed_only=True)
+        assert code == 0
+        assert "0 findings" in output
+
+    def test_outside_git_is_a_usage_error(self, monkeypatch, capsys):
+        def boom():
+            raise CheckError("--changed-only needs a git checkout")
+
+        monkeypatch.setattr("repro.analysis.cli._changed_files", boom)
+        code, _ = run([FIXTURE], no_baseline=True, changed_only=True)
+        assert code == 2
+        assert "git checkout" in capsys.readouterr().err
+
+
+class TestCacheFlags:
+    def test_cache_path_flag_creates_cache(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        run([FIXTURE], no_baseline=True, cache_path=str(cache))
+        assert cache.exists()
+
+    def test_no_cache_skips_the_file(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        run(
+            [FIXTURE], no_baseline=True, no_cache=True,
+            cache_path=str(cache),
+        )
+        assert not cache.exists()
+
+    def test_warm_run_matches_cold(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        cold = run([FIXTURE], no_baseline=True, cache_path=str(cache))
+        warm = run([FIXTURE], no_baseline=True, cache_path=str(cache))
+        assert warm == cold
 
 
 class TestMainIntegration:

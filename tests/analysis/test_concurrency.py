@@ -1,0 +1,332 @@
+"""The concurrency-safety pass (C001-C005) and its seeded fixtures."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import Policy, check_source
+from repro.analysis.visitor import check_paths
+
+# In the default concurrency scope, out of the soundness scope.
+PATH = "src/repro/core/runner.py"
+
+C001_FIXTURE = Path(__file__).parent / "fixtures" / "c001_worker.py"
+
+
+def lint(code, policy=None):
+    return check_source(textwrap.dedent(code), PATH, policy or Policy())
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestC001ForkSharedState:
+    def test_seeded_fixture_fires(self):
+        findings = check_paths([C001_FIXTURE], Policy())
+        assert "C001" in rules_of(findings)
+
+    def test_global_assign_in_worker(self):
+        findings = lint(
+            """
+            import multiprocessing
+
+            STATE = 0
+
+            def worker():
+                global STATE
+                STATE = 1
+
+            def launch():
+                multiprocessing.Process(target=worker).start()
+            """
+        )
+        assert "C001" in rules_of(findings)
+
+    def test_transitive_reachability(self):
+        findings = lint(
+            """
+            import multiprocessing
+
+            CACHE = {}
+
+            def helper(k):
+                CACHE[k] = 1
+
+            def worker(k):
+                helper(k)
+
+            def launch():
+                multiprocessing.Process(target=worker).start()
+            """
+        )
+        assert "C001" in rules_of(findings)
+
+    def test_mutator_call_on_module_state(self):
+        findings = lint(
+            """
+            import multiprocessing
+
+            RESULTS = []
+
+            def worker(v):
+                RESULTS.append(v)
+
+            def launch():
+                multiprocessing.Process(target=worker).start()
+            """
+        )
+        assert "C001" in rules_of(findings)
+
+    def test_local_state_is_fine(self):
+        findings = lint(
+            """
+            import multiprocessing
+
+            def worker(v):
+                results = []
+                results.append(v)
+                return results
+
+            def launch():
+                multiprocessing.Process(target=worker).start()
+            """
+        )
+        assert "C001" not in rules_of(findings)
+
+    def test_no_fork_no_finding(self):
+        findings = lint(
+            """
+            STATE = 0
+
+            def mutate():
+                global STATE
+                STATE = 1
+            """
+        )
+        assert "C001" not in rules_of(findings)
+
+
+class TestC002SignalHandler:
+    def test_logging_call_flagged(self):
+        findings = lint(
+            """
+            import logging
+            import signal
+
+            logger = logging.getLogger(__name__)
+
+            def handler(signum, frame):
+                logger.warning("got %s", signum)
+
+            def install():
+                signal.signal(signal.SIGTERM, handler)
+            """
+        )
+        assert "C002" in rules_of(findings)
+
+    def test_print_flagged(self):
+        findings = lint(
+            """
+            import signal
+
+            def handler(signum, frame):
+                print("stop")
+
+            def install():
+                signal.signal(signal.SIGINT, handler)
+            """
+        )
+        assert "C002" in rules_of(findings)
+
+    def test_os_write_is_safe(self):
+        findings = lint(
+            """
+            import os
+            import signal
+
+            def handler(signum, frame):
+                os.write(2, b"stopping\\n")
+
+            def install():
+                signal.signal(signal.SIGTERM, handler)
+            """
+        )
+        assert "C002" not in rules_of(findings)
+
+    def test_flag_set_is_safe(self):
+        findings = lint(
+            """
+            import signal
+
+            STOP = False
+
+            def handler(signum, frame):
+                global STOP
+                STOP = True
+
+            def install():
+                signal.signal(signal.SIGTERM, handler)
+            """
+        )
+        assert "C002" not in rules_of(findings)
+
+
+class TestC003PreForkHandles:
+    def test_module_level_handle_in_worker(self):
+        findings = lint(
+            """
+            import multiprocessing
+
+            LOG = open("campaign.log", "a")
+
+            def worker():
+                LOG.read()
+
+            def launch():
+                multiprocessing.Process(target=worker).start()
+            """
+        )
+        assert "C003" in rules_of(findings)
+
+    def test_worker_local_handle_is_fine(self):
+        findings = lint(
+            """
+            import multiprocessing
+
+            def worker():
+                with open("campaign.log", "a") as log:
+                    log.read()
+
+            def launch():
+                multiprocessing.Process(target=worker).start()
+            """
+        )
+        assert "C003" not in rules_of(findings)
+
+
+class TestC004UnlockedMutation:
+    CLASS = """
+        import threading
+
+        class Snapshot:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.state = "idle"
+
+            def _loop(self):
+                while True:
+                    pass
+
+            def start(self):
+                threading.Thread(target=self._loop).start()
+
+            def locked_update(self, value):
+                with self._lock:
+                    self.state = value
+
+            def unlocked_update(self, value):
+                self.state = value
+    """
+
+    def test_unlocked_write_flagged(self):
+        findings = lint(self.CLASS)
+        flagged = [f for f in findings if f.rule == "C004"]
+        assert len(flagged) == 1
+        assert "unlocked_update" in flagged[0].message
+
+    def test_init_is_exempt(self):
+        findings = lint(self.CLASS)
+        assert all("__init__" not in f.message for f in findings)
+
+    def test_lockless_class_is_out_of_scope(self):
+        findings = lint(
+            """
+            class Plain:
+                def set(self, value):
+                    self.value = value
+            """
+        )
+        assert "C004" not in rules_of(findings)
+
+
+class TestC005AtomicStatusWrites:
+    def test_direct_overwrite_flagged(self):
+        findings = lint(
+            """
+            import json
+
+            def dump_status(path, payload):
+                with open(path, "w") as fh:
+                    json.dump(payload, fh)
+            """
+        )
+        assert "C005" in rules_of(findings)
+
+    def test_write_text_flagged(self):
+        findings = lint(
+            "def dump(path, text):\n    path.write_text(text)\n"
+        )
+        assert "C005" in rules_of(findings)
+
+    def test_sanctioned_writer_allowed(self):
+        findings = lint(
+            """
+            import json
+            import os
+
+            def write_status_atomic(path, payload):
+                tmp = str(path) + ".tmp"
+                with open(tmp, "w") as fh:
+                    json.dump(payload, fh)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, path)
+            """
+        )
+        assert "C005" not in rules_of(findings)
+
+    def test_append_mode_allowed(self):
+        findings = lint(
+            "def journal(path, line):\n"
+            "    with open(path, \"a\") as fh:\n"
+            "        fh.write(line)\n"
+        )
+        assert "C005" not in rules_of(findings)
+
+
+class TestScope:
+    def test_out_of_scope_module_gets_no_c_pass(self):
+        code = """
+            import multiprocessing
+
+            STATE = 0
+
+            def worker():
+                global STATE
+                STATE = 1
+
+            def launch():
+                multiprocessing.Process(target=worker).start()
+            """
+        findings = check_source(
+            textwrap.dedent(code), "src/repro/experiments/driver.py", Policy()
+        )
+        assert findings == []
+
+    def test_pragma_suppresses_c_findings(self):
+        findings = lint(
+            """
+            import multiprocessing
+
+            STATE = 0
+
+            def worker():
+                global STATE
+                # sound: ok [C001] per-process scratch, never read by parent
+                STATE = 1
+
+            def launch():
+                multiprocessing.Process(target=worker).start()
+            """
+        )
+        assert rules_of(findings) == []

@@ -84,6 +84,53 @@ class TestSuppression:
         assert [f.rule for f in findings] == ["S001"]
 
 
+class TestDataflowInteraction:
+    """Pragmas against findings the interprocedural pass produces."""
+
+    CHAIN = """
+        def endpoint(box):
+            return box.lo
+
+        def use(box):
+            # sound: ok [S001] chain vetted, result re-rounded by caller
+            v = (
+                endpoint(box)
+                + 1.0
+            )
+            return v
+        """
+
+    def test_pragma_covers_multi_line_call_chain(self):
+        # The flagged `+` sits two physical lines below the pragma, but
+        # both are inside one statement starting on the pragma's line.
+        assert lint(self.CHAIN) == []
+
+    def test_pragma_goes_stale_when_dataflow_stops_flagging(self):
+        # Same consumer, but the helper no longer returns a bound: the
+        # dataflow verdict flips, the pragma has nothing to suppress,
+        # and hygiene must surface it instead of letting it rot.
+        neutral = self.CHAIN.replace("return box.lo", "return 0.0")
+        findings = lint(neutral)
+        assert [f.rule for f in findings] == ["S000"]
+        assert "unused" in findings[0].message
+
+    def test_mixed_code_pragma_only_uses_matching_family(self):
+        # A pragma listing both an S and a C code is "used" as soon as
+        # either family fires under it.
+        findings = lint(
+            """
+            def endpoint(box):
+                return box.hi
+
+            def use(box):
+                # sound: ok [S001, C004] audited both ways
+                v = endpoint(box) + 1.0
+                return v
+            """
+        )
+        assert findings == []
+
+
 class TestHygiene:
     def test_reasonless_pragma_reported(self):
         findings = lint(

@@ -46,6 +46,7 @@ def assert_same_result(a, b, check_counters: bool = True) -> None:
     if check_counters:
         assert a.joins_performed == b.joins_performed
         assert a.integrations == b.integrations
+        assert a.controller_evaluations == b.controller_evaluations
 
 
 class TestReachBatchStates:
@@ -112,11 +113,25 @@ class TestReachMany:
         )
         assert len(batched) == len(scalars)
         for a, b in zip(scalars, batched):
-            # reach.controller_evaluations may legitimately undercount
-            # in the wave driver (survivors of an early-exiting cell
-            # are dropped before the controller runs); everything else
-            # is bitwise.
             assert_same_result(a, b, check_counters=True)
+
+    def test_early_exit_counts_controller_evaluations(self):
+        # A wave where one state goes unsafe while another state of the
+        # same cell has already been processed: the scalar path evaluates
+        # the controller for the earlier state before returning, and the
+        # wave driver must count the same work.
+        system = make_system(network=runaway_network(), error_bound=4.0)
+        multi = SymbolicSet(
+            [
+                SymbolicState(Box([0.1], [0.2]), 0),
+                SymbolicState(Box([2.0], [2.2]), 0),
+            ]
+        )
+        settings = ReachSettings(substeps=4)
+        scalar = reach(system, multi.copy(), settings)
+        [batched] = reach_many(system, [multi.copy()], settings)
+        assert scalar.verdict.name == "POSSIBLY_UNSAFE"
+        assert_same_result(scalar, batched, check_counters=True)
 
 
 class TestLockstepPartition:
