@@ -176,24 +176,16 @@ def cmd_verify(args: argparse.Namespace) -> int:
         and args.cell_timeout is None
         and args.deadline is None
     )
-    if batch_mode == "cells" and not lockstep_ok:
-        print(
-            "error: --batch cells requires --workers 1 and no "
-            "--cell-timeout/--deadline",
-            file=sys.stderr,
-        )
-        return 2
     batch_cells = batch_mode == "cells" or (batch_mode == "auto" and lockstep_ok)
     batch_states = batch_mode == "states" or (
         batch_mode == "auto" and not lockstep_ok
     )
 
-    config = ExperimentConfig(
-        name="cli",
-        scenario=_scenario(args.scenario),
-        num_arcs=args.arcs,
-        num_headings=args.headings,
-        runner=RunnerSettings(
+    # Settings validation lives in RunnerSettings.__post_init__ — one
+    # authority for the CLI and programmatic callers alike. The CLI's
+    # job is only to translate the failure into flag language.
+    try:
+        runner = RunnerSettings(
             reach=ReachSettings(
                 substeps=args.substeps,
                 max_symbolic_states=args.gamma,
@@ -205,7 +197,21 @@ def cmd_verify(args: argparse.Namespace) -> int:
             deadline=args.deadline,
             max_retries=args.max_retries,
             batch_cells=batch_cells,
-        ),
+        )
+    except ValueError as error:
+        print(
+            f"error: {error} (check --workers, --cell-timeout, --deadline, "
+            "--max-retries, --batch)",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = ExperimentConfig(
+        name="cli",
+        scenario=_scenario(args.scenario),
+        num_arcs=args.arcs,
+        num_headings=args.headings,
+        runner=runner,
     )
 
     # Mint the run id before the campaign so the live-status directory
@@ -240,7 +246,10 @@ def cmd_verify(args: argparse.Namespace) -> int:
     with contextlib.ExitStack() as stack:
         if live is not None:
             stack.enter_context(live)
-        report = run_experiment(config, progress=progress)
+        if args.distributed is not None:
+            report = _run_distributed_experiment(config, args, run_id, progress)
+        else:
+            report = run_experiment(config, progress=progress)
     wall = time.perf_counter() - started
     print(render_report(report))
 
@@ -303,6 +312,194 @@ def cmd_verify(args: argparse.Namespace) -> int:
     )
     _append_ledger(args, record)
     _teardown_observability(args, recorder)
+    return 0
+
+
+def _resolve_node_count(spec: str, workers_per_node: int) -> int:
+    """``--distributed auto`` → enough nodes to use the machine without
+    oversubscribing: one coordinator plus nodes of `workers_per_node`."""
+    if spec != "auto":
+        count = int(spec)
+        if count < 1:
+            raise ValueError("--distributed needs at least one node")
+        return count
+    cores = os.cpu_count() or 2
+    return max(2, min(8, (cores - 1) // max(1, workers_per_node)))
+
+
+def _distributed_journal(args: argparse.Namespace, run_id: str) -> str:
+    if getattr(args, "journal", None):
+        return args.journal
+    return os.path.join(".repro", "distributed", f"{run_id}.jsonl")
+
+
+def _run_distributed_experiment(config, args, run_id: str, progress):
+    """The `verify --distributed` body: same partition, same report
+    decoration as :func:`repro.experiments.run_experiment`, but run by
+    a loopback coordinator with forked node agents."""
+    from .acasxu import build_system, initial_cells
+    from .core import DistributedSettings, run_distributed
+
+    nodes = _resolve_node_count(args.distributed, args.workers)
+    cells = initial_cells(config.num_arcs, config.num_headings)
+    scenario = config.scenario
+    report = run_distributed(
+        lambda: build_system(scenario),
+        cells,
+        _distributed_journal(args, run_id),
+        settings=config.runner,
+        dist=DistributedSettings(
+            num_shards=args.num_shards,
+            lease_timeout=args.lease_timeout,
+        ),
+        nodes=nodes,
+        workers_per_node=args.workers,
+        progress=progress,
+    )
+    report.system_name = f"acasxu/{config.name}"
+    report.settings_summary["num_arcs"] = config.num_arcs
+    report.settings_summary["num_headings"] = config.num_headings
+    return report
+
+
+def cmd_coordinate(args: argparse.Namespace) -> int:
+    """Listen for node agents and drive one distributed campaign."""
+    import contextlib
+    import time
+
+    from .acasxu import initial_cells
+    from .core import (
+        Coordinator,
+        DistributedSettings,
+        ReachSettings,
+        RefinementPolicy,
+        RunnerSettings,
+    )
+    from .experiments import render_report
+    from .obs import (
+        CampaignProgress,
+        LiveTelemetry,
+        Recorder,
+        TelemetrySettings,
+        new_run_id,
+        record_from_report,
+        set_recorder,
+    )
+
+    recorder = _setup_observability(args)
+    if not recorder.enabled:
+        recorder = Recorder()
+        set_recorder(recorder)
+    try:
+        runner = RunnerSettings(
+            reach=ReachSettings(
+                substeps=args.substeps, max_symbolic_states=args.gamma
+            ),
+            refinement=RefinementPolicy(dims=(0, 1, 2), max_depth=args.depth),
+            cell_timeout=args.cell_timeout,
+            deadline=args.deadline,
+            max_retries=args.max_retries,
+        )
+    except ValueError as error:
+        print(
+            f"error: {error} (check --cell-timeout, --deadline, --max-retries)",
+            file=sys.stderr,
+        )
+        return 2
+
+    run_id = new_run_id("coordinate")
+    cells = initial_cells(args.arcs, args.headings)
+    coordinator = Coordinator(
+        cells,
+        _distributed_journal(args, run_id),
+        settings=runner,
+        dist=DistributedSettings(
+            listen=args.listen,
+            num_shards=args.num_shards,
+            expected_nodes=args.nodes,
+            lease_timeout=args.lease_timeout,
+        ),
+        progress=CampaignProgress(stream=sys.stderr),
+    )
+    host, port = coordinator.start()
+    print(f"coordinator listening on {host}:{port} "
+          f"(connect node agents with `repro node --connect {host}:{port}`)",
+          file=sys.stderr)
+
+    live: LiveTelemetry | None = None
+    if not args.no_live:
+        try:
+            live = LiveTelemetry(
+                run_id,
+                TelemetrySettings(
+                    interval=args.live_interval,
+                    root=args.live_dir,
+                    metrics_port=args.metrics_port,
+                ),
+                recorder=recorder,
+            )
+            print(f"live status: {live.status_path} (`repro watch {run_id}`)",
+                  file=sys.stderr)
+        except OSError as error:
+            print(f"warning: live telemetry disabled: {error}", file=sys.stderr)
+
+    started = time.perf_counter()
+    with contextlib.ExitStack() as stack:
+        if live is not None:
+            stack.enter_context(live)
+        report = coordinator.serve()
+    print(render_report(report))
+    stats = report.settings_summary["distributed"]
+    print(f"\nnodes: {', '.join(stats['nodes_seen']) or 'none'}")
+    print(f"grants: {stats['grants']}, expired leases: "
+          f"{stats['expired_leases']}, stolen cells: {stats['stolen_cells']}, "
+          f"fenced frames: {stats['fenced_frames']}")
+    if args.out:
+        report.to_json(args.out)
+        print(f"\nreport written to {args.out}")
+    record = record_from_report(
+        report,
+        kind="coordinate",
+        run_id=run_id,
+        wall_seconds=time.perf_counter() - started,
+        extra={"journal": str(coordinator.journal_path)},
+    )
+    _append_ledger(args, record)
+    _teardown_observability(args, recorder)
+    return 0
+
+
+def cmd_node(args: argparse.Namespace) -> int:
+    """Join a distributed campaign as one node agent."""
+    from .core import run_node
+    from .core.node import NodeSettings
+    from .core.wire import FrameError
+
+    scenario = _scenario(args.scenario)
+
+    def factory_from_config(config: dict):
+        # The system is rebuilt from the *local* scenario tables; the
+        # coordinator's welcome config supplies the pool settings.
+        from .acasxu import build_system
+
+        return lambda: build_system(scenario)
+
+    try:
+        outcome = run_node(
+            NodeSettings(
+                connect=args.connect,
+                node_id=args.node_id,
+                workers=args.workers,
+                heartbeat_interval=args.heartbeat_interval,
+            ),
+            factory_from_config=factory_from_config,
+        )
+    except (OSError, EOFError, FrameError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"{outcome.node_id}: {outcome.cells_computed} cells over "
+          f"{outcome.shards_completed} shards"
+          + (f", fenced {outcome.fenced}x" if outcome.fenced else ""))
     return 0
 
 
@@ -830,6 +1027,28 @@ def build_parser() -> argparse.ArgumentParser:
         "Verdicts are bitwise identical either way; REPRO_BATCHED=0 "
         "overrides everything to scalar",
     )
+    p_verify.add_argument(
+        "--distributed", nargs="?", const="auto", default=None, metavar="N",
+        help="run the campaign as one loopback coordinator plus N forked "
+        "node agents (bare flag = auto-size from CPU count); --workers "
+        "then means workers per node. Results are deterministic: the "
+        "merged journal and report match a single-host run",
+    )
+    p_verify.add_argument(
+        "--journal", metavar="PATH",
+        help="with --distributed: checkpoint journal path (default "
+        ".repro/distributed/<run-id>.jsonl); an existing journal resumes",
+    )
+    p_verify.add_argument(
+        "--num-shards", type=int, default=None, metavar="K",
+        help="with --distributed: shard count (default: sized from the "
+        "node count; more shards = finer work stealing)",
+    )
+    p_verify.add_argument(
+        "--lease-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="with --distributed: node silence before its shard lease "
+        "expires and the work is stolen",
+    )
     p_verify.add_argument("--out", help="write the JSON report here")
     p_verify.add_argument(
         "--metrics-port", type=int, default=None, metavar="PORT",
@@ -851,6 +1070,95 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_arguments(p_verify)
     p_verify.set_defaults(fn=cmd_verify)
+
+    p_coord = sub.add_parser(
+        "coordinate",
+        help="host a distributed campaign: shard the partition, lease "
+        "shards to connecting node agents, steal work from lost nodes",
+    )
+    _add_scenario_argument(p_coord)
+    p_coord.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="bind address (port 0 = ephemeral, printed on startup)",
+    )
+    p_coord.add_argument(
+        "--nodes", type=int, default=0, metavar="N",
+        help="hold all grants until N node agents have connected "
+        "(default 0 = grant as nodes arrive)",
+    )
+    p_coord.add_argument("--arcs", type=int, default=24)
+    p_coord.add_argument("--headings", type=int, default=6)
+    p_coord.add_argument("--depth", type=int, default=2,
+                         help="split-refinement depth")
+    p_coord.add_argument("--substeps", type=int, default=10,
+                         help="the paper's M")
+    p_coord.add_argument("--gamma", type=int, default=5,
+                         help="the paper's Gamma")
+    p_coord.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock budget, enforced on each node",
+    )
+    p_coord.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="campaign wall-clock budget; stop granting once exceeded",
+    )
+    p_coord.add_argument("--max-retries", type=int, default=1)
+    p_coord.add_argument(
+        "--journal", metavar="PATH",
+        help="checkpoint journal path (default "
+        ".repro/distributed/<run-id>.jsonl); an existing journal resumes "
+        "and restores lease epochs",
+    )
+    p_coord.add_argument(
+        "--num-shards", type=int, default=None, metavar="K",
+        help="shard count (default: sized from --nodes)",
+    )
+    p_coord.add_argument(
+        "--lease-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="node silence before its shard lease expires",
+    )
+    p_coord.add_argument("--out", help="write the JSON report here")
+    p_coord.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve /status.json and /metrics on 127.0.0.1:PORT",
+    )
+    p_coord.add_argument(
+        "--no-live", action="store_true",
+        help="disable live telemetry (.repro/live status files)",
+    )
+    p_coord.add_argument(
+        "--live-interval", type=float, default=1.0, metavar="SECONDS",
+        help="status.json rewrite period",
+    )
+    p_coord.add_argument(
+        "--live-dir",
+        help="live-status directory (default: $REPRO_LIVE or .repro/live)",
+    )
+    _add_obs_arguments(p_coord)
+    p_coord.set_defaults(fn=cmd_coordinate)
+
+    p_node = sub.add_parser(
+        "node",
+        help="join a distributed campaign as a node agent (verifies "
+        "leased shards on a local worker pool)",
+    )
+    _add_scenario_argument(p_node)
+    p_node.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address (printed by `repro coordinate`)",
+    )
+    p_node.add_argument("--workers", type=int, default=1,
+                        help="local worker-pool size")
+    p_node.add_argument(
+        "--node-id", default=None,
+        help="stable node name shown in `repro watch` (default node-<pid>)",
+    )
+    p_node.add_argument(
+        "--heartbeat-interval", type=float, default=0.5, metavar="SECONDS",
+        help="heartbeat period (keep well under the coordinator's "
+        "--lease-timeout)",
+    )
+    p_node.set_defaults(fn=cmd_node)
 
     p_show = sub.add_parser("show", help="render a saved JSON report")
     p_show.add_argument("report")

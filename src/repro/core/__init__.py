@@ -2,9 +2,22 @@
 model, the reachability procedure (Algorithms 1-3), partitioning with
 split refinement, the parallel runner, and runtime monitoring."""
 
-from .checkpoint import load_journal, verify_partition_checkpointed
+from .checkpoint import (
+    canonical_journal_bytes,
+    load_journal,
+    load_lease_records,
+    verify_partition_checkpointed,
+)
 from .compose import StateView, SynchronousProductController
+from .coordinator import (
+    Coordinator,
+    CoordinatorStats,
+    DistributedSettings,
+    run_distributed,
+)
+from .lease import Lease, LeaseTable, Shard, assign_shards, shard_index
 from .monitor import MonitorAdvice, RuntimeMonitor, SwitchingController
+from .node import NodeOutcome, NodeSettings, run_node
 from .partition import RefinementPolicy, grid_partition
 from .reach import (
     ReachResult,
@@ -46,15 +59,23 @@ __all__ = [
     "ClosedLoopSystem",
     "CommandSet",
     "Controller",
+    "Coordinator",
+    "CoordinatorStats",
+    "DistributedSettings",
     "FunctionPre",
     "IdentityPre",
+    "Lease",
+    "LeaseTable",
     "MonitorAdvice",
+    "NodeOutcome",
+    "NodeSettings",
     "Plant",
     "ReachResult",
     "ReachSettings",
     "RefinementPolicy",
     "RunnerSettings",
     "RuntimeMonitor",
+    "Shard",
     "ShutdownFlag",
     "StateView",
     "SupervisorOutcome",
@@ -65,15 +86,21 @@ __all__ = [
     "TubeSegment",
     "Verdict",
     "VerificationReport",
+    "assign_shards",
     "budget_guard",
+    "canonical_journal_bytes",
     "grid_partition",
     "load_journal",
+    "load_lease_records",
     "reach",
     "reach_from_box",
     "reach_many",
     "resize",
     "run_cell_guarded",
+    "run_distributed",
+    "run_node",
     "run_supervised",
+    "shard_index",
     "trap_shutdown_signals",
     "verify_cell",
     "verify_partition",

@@ -73,6 +73,11 @@ def load_journal(path: str | Path) -> dict[str, CellResult]:
                 continue
             try:
                 entry = json.loads(line)
+                if isinstance(entry, dict) and "lease" in entry and "key" not in entry:
+                    # Coordinator lease-state record (see core.coordinator):
+                    # not a cell, and deliberately ignored here so journals
+                    # from distributed runs resume fine under old readers.
+                    continue
                 key = entry["key"]
                 result = CellResult.from_dict(entry["result"])
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
@@ -105,7 +110,9 @@ class _JournalWriter:
         self.fsync = fsync
         self._torn_pending = False
 
-    def append(self, key: str, result: CellResult) -> None:
+    def append(
+        self, key: str, result: CellResult, extra: dict | None = None
+    ) -> None:
         rec = get_recorder()
         if result.quarantined:
             # Not a verdict worth remembering: the next run retries it.
@@ -116,7 +123,12 @@ class _JournalWriter:
                 verdict=result.verdict.value,
             )
             return
-        line = json.dumps({"key": key, "result": result.to_dict()})
+        entry = {"key": key, "result": result.to_dict()}
+        if extra:
+            # Provenance fields (shard/epoch from distributed runs). Old
+            # readers only look at "key"/"result" and skip the rest.
+            entry.update(extra)
+        line = json.dumps(entry)
         injector = get_fault_injector()
         torn = False
         if injector is not None:
@@ -130,6 +142,78 @@ class _JournalWriter:
         if self.fsync:
             os.fsync(self.handle.fileno())
         rec.inc("checkpoint.cells_verified")
+
+    def append_record(self, record: dict) -> None:
+        """Append a non-cell bookkeeping record (e.g. a coordinator
+        lease grant). Never torn by fault injection — lease records are
+        coordinator-side state, not the cell write path under test."""
+        if self._torn_pending:
+            self.handle.write("\n")
+            self._torn_pending = False
+        self.handle.write(json.dumps(record) + "\n")
+        self.handle.flush()
+        if self.fsync:
+            os.fsync(self.handle.fileno())
+
+
+def load_lease_records(path: str | Path) -> list[dict]:
+    """Read coordinator lease-state records from a journal, in append
+    order (missing file = empty). Malformed lines are skipped, same
+    policy as :func:`load_journal`; cell entries are ignored."""
+    path = Path(path)
+    records: list[dict] = []
+    if not path.exists():
+        return records
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and "lease" in entry and "key" not in entry:
+                lease = entry["lease"]
+                if isinstance(lease, dict):
+                    records.append(lease)
+    return records
+
+
+def _normalize_result_dict(payload: dict) -> dict:
+    """Zero the wall-clock fields of a serialized CellResult so two
+    runs of the same mathematics compare equal. Verdicts, depths, step
+    counts, joins and integrations are deterministic; elapsed seconds
+    and crash-retry attempt counts are not."""
+    payload = dict(payload)
+    payload["elapsed_seconds"] = 0.0
+    payload["attempts"] = 0
+    if payload.get("children"):
+        payload["children"] = [
+            _normalize_result_dict(child) for child in payload["children"]
+        ]
+    return payload
+
+
+def canonical_journal_bytes(path: str | Path) -> bytes:
+    """A journal's *mathematical content* as canonical bytes.
+
+    Entries are sorted by cell key and re-serialized with sorted keys
+    after zeroing volatile fields (elapsed wall-clock, retry attempts),
+    so two journals covering the same partition with the same verdicts
+    produce identical bytes — regardless of completion order, worker
+    count, or whether the campaign ran single-host or distributed.
+    This is the equivalence the distributed acceptance drill asserts.
+    """
+    finished = load_journal(path)
+    lines = [
+        json.dumps(
+            {"key": key, "result": _normalize_result_dict(finished[key].to_dict())},
+            sort_keys=True,
+        )
+        for key in sorted(finished)
+    ]
+    return ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
 
 
 def verify_partition_checkpointed(

@@ -1,0 +1,793 @@
+"""Campaign coordinator for distributed sharded verification.
+
+The paper's headline experiment — ~198k cells over ~12 days — runs at
+a scale where node loss is routine. This module is the control plane
+that makes such a campaign a fleet workload: one coordinator process
+owns the partition, shards it deterministically
+(:func:`~repro.core.lease.assign_shards` over the checkpoint layer's
+geometry keys), and hands shards to node agents
+(:mod:`repro.core.node`) over length-prefixed JSON frames
+(:mod:`repro.core.wire`), tracking each grant as a *lease*
+(:class:`~repro.core.lease.LeaseTable`).
+
+Recovery, not scheduling, is the design center:
+
+* **Node loss.** Missed heartbeats or a dropped connection expire the
+  lease; after an exponential cooling-off window the shard is
+  *work-stolen* by any idle node — at cell granularity: the steal
+  grant excludes every cell the dead node already streamed back, so a
+  crash costs at most the in-flight cells, never recomputation of
+  journaled ones.
+* **Zombie nodes.** Every grant carries a fresh, strictly increasing
+  *epoch*. A node that went silent (netsplit) and later floods its
+  buffered results back is answered frame-by-frame with a ``fence``:
+  its epoch is dead, nothing it sends is accepted, and the discard is
+  deterministic — no "maybe the old result lands first" races.
+* **Coordinator loss.** Grants and accepted results flow through the
+  same append-only journal as single-host checkpointed runs
+  (:mod:`repro.core.checkpoint`; cell entries gain ``shard``/``epoch``
+  provenance fields old readers skip, lease grants are their own
+  records old readers also skip). A restarted coordinator replays the
+  journal: finished cells stay finished, and every shard's epoch floor
+  is restored so pre-crash zombies stay fenced.
+
+Determinism is the acceptance bar: the same partition verified
+distributed and single-host yields the same verdicts, the same
+refinement trees, the same coverage — the merged journal is
+byte-identical under :func:`~repro.core.checkpoint.canonical_journal_bytes`
+(which normalizes only wall-clock fields). Cells are re-assembled in
+partition order, and node ids never leak into the mathematics.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import selectors
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..intervals import Box
+from ..obs import get_recorder
+from ..obs.live import get_bus
+from .checkpoint import (
+    _cell_key,
+    _JournalWriter,
+    load_journal,
+    load_lease_records,
+)
+from .lease import LeaseTable, assign_shards
+from .result import CellResult, VerificationReport
+from .runner import RunnerSettings, _notify_progress, _settings_summary
+from .supervisor import trap_shutdown_signals
+from .wire import FrameDecoder, FrameError, parse_hostport, send_frame
+
+logger = logging.getLogger("repro.core.coordinator")
+
+#: recv size per readable socket per loop turn.
+_RECV_CHUNK = 1 << 16
+
+
+@dataclass(frozen=True)
+class DistributedSettings:
+    """Topology and lease policy for one distributed campaign."""
+
+    #: ``HOST:PORT`` to listen on (port 0 = ephemeral, reported by
+    #: :meth:`Coordinator.start`).
+    listen: str = "127.0.0.1:0"
+    #: Shard count (None = ``max(8, 4 * expected_nodes)``, capped at
+    #: the cell count). More shards than nodes keeps the work-stealing
+    #: granularity useful: an idle node always has something to claim.
+    num_shards: int | None = None
+    #: Hold all grants until this many nodes have said hello
+    #: (0 = grant as nodes arrive).
+    expected_nodes: int = 0
+    #: Seconds of node silence before its lease expires.
+    lease_timeout: float = 10.0
+    #: Base of the exponential cooling-off window an expired shard
+    #: sits out before it may be regranted.
+    reassign_backoff: float = 0.5
+    max_backoff: float = 30.0
+    #: Event-loop poll period (lease sweeps, grant attempts).
+    poll_interval: float = 0.1
+    #: Per-socket send/recv timeout; a peer wedged longer than this on
+    #: the TCP level is treated as disconnected.
+    socket_timeout: float = 10.0
+    #: fsync journal appends (same meaning as the checkpoint layer's).
+    fsync: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if self.num_shards is not None and self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1 (or None)")
+        if self.expected_nodes < 0:
+            raise ValueError("expected_nodes must be >= 0")
+
+
+@dataclass
+class CoordinatorStats:
+    """Observable invariants of one coordinated campaign — what the
+    acceptance drill asserts on."""
+
+    grants: int = 0
+    expired_leases: int = 0
+    #: Frames (results / heartbeats / completions) refused because
+    #: their epoch was stale. Nonzero whenever a zombie came back.
+    fenced_frames: int = 0
+    #: Results accepted for a key that was already journaled. Must stay
+    #: 0: grants exclude finished cells and stale epochs are fenced, so
+    #: a double-count would mean the lease discipline is broken.
+    duplicate_results: int = 0
+    #: Cells handed out again after a lease expiry (the stolen work).
+    stolen_cells: int = 0
+    #: Already-journaled cells *excluded* from steal grants — the
+    #: recomputation that did not happen.
+    steal_excluded: int = 0
+    nodes_seen: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "grants": self.grants,
+            "expired_leases": self.expired_leases,
+            "fenced_frames": self.fenced_frames,
+            "duplicate_results": self.duplicate_results,
+            "stolen_cells": self.stolen_cells,
+            "steal_excluded": self.steal_excluded,
+            "nodes_seen": list(self.nodes_seen),
+        }
+
+
+class _Conn:
+    """Per-connection read state."""
+
+    def __init__(self, sock: socket.socket, addr):
+        self.sock = sock
+        self.addr = addr
+        self.decoder = FrameDecoder()
+        self.node_id: str | None = None
+        #: True while the agent is (as far as we know) computing a
+        #: grant — ours or a stale one. Lease expiry does NOT clear
+        #: this: an expired node is usually still chewing on the shard,
+        #: and granting it more work would just queue dead epochs in
+        #: its socket. Cleared by its shard_done (accepted or fenced)
+        #: or by a heartbeat reporting it idle.
+        self.busy = False
+
+
+class Coordinator:
+    """One distributed campaign: shard, lease, merge.
+
+    Single-threaded by construction — every socket, the lease table and
+    the journal are touched only from :meth:`serve`'s ``selectors``
+    loop, so there is no lock anywhere in the control plane.
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[tuple],
+        journal_path: str | Path,
+        settings: RunnerSettings | None = None,
+        dist: DistributedSettings | None = None,
+        progress: Callable[[int, int], None] | None = None,
+        welcome_config: dict | None = None,
+    ):
+        self.settings = settings or RunnerSettings()
+        self.dist = dist or DistributedSettings()
+        self.progress = progress
+        self.journal_path = Path(journal_path)
+        self.stats = CoordinatorStats()
+
+        self.parsed: list[tuple[Box, int, dict]] = []
+        self.keys: list[str] = []
+        for cell in cells:
+            box, command = cell[0], cell[1]
+            tags = dict(cell[2]) if len(cell) > 2 else {}
+            self.parsed.append((box, command, tags))
+            self.keys.append(_cell_key(box, command))
+        self.index_of = {key: i for i, key in enumerate(self.keys)}
+
+        num_shards = self.dist.num_shards or max(
+            8, 4 * max(1, self.dist.expected_nodes)
+        )
+        num_shards = min(num_shards, max(1, len(self.keys)))
+        self.shards = assign_shards(self.keys, num_shards)
+        self.table = LeaseTable(
+            self.shards,
+            lease_timeout=self.dist.lease_timeout,
+            reassign_backoff=self.dist.reassign_backoff,
+            max_backoff=self.dist.max_backoff,
+        )
+        #: What remote ``repro node`` agents rebuild their pool from.
+        self.welcome_config = dict(welcome_config or {})
+        self.welcome_config.setdefault("substeps", self.settings.reach.substeps)
+        self.welcome_config.setdefault("gamma", self.settings.reach.max_symbolic_states)
+        self.welcome_config.setdefault(
+            "batch_states", self.settings.reach.batch_states
+        )
+        self.welcome_config.setdefault(
+            "depth",
+            self.settings.refinement.max_depth if self.settings.refinement else 0,
+        )
+        if self.settings.refinement is not None:
+            self.welcome_config.setdefault(
+                "refinement_dims", list(self.settings.refinement.dims)
+            )
+        self.welcome_config.setdefault("cell_timeout", self.settings.cell_timeout)
+        self.welcome_config.setdefault("max_retries", self.settings.max_retries)
+
+        #: index -> accepted result (journal-cached and streamed alike).
+        self.results: dict[int, CellResult] = {}
+        #: keys with an accepted result this campaign (steal exclusion
+        #: set; includes quarantined results, which are never journaled
+        #: but are also never retried within one campaign — matching
+        #: the single-host drivers).
+        self.done_keys: set[str] = set()
+        #: keys durably in the journal.
+        self.journaled: set[str] = set()
+
+        self._listener: socket.socket | None = None
+        self._sel: selectors.BaseSelector | None = None
+        self._conns: dict[socket.socket, _Conn] = {}
+        #: node id -> live connection (latest hello wins).
+        self._nodes: dict[str, _Conn] = {}
+        self._shard_expiry_pending: bool = False
+        self.interrupted: str | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); valid after :meth:`start`."""
+        assert self._listener is not None, "call start() first"
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> tuple[str, int]:
+        """Bind the listener (does not block). Returns (host, port) —
+        with an ephemeral port spec, this is where nodes must dial."""
+        host, port = parse_hostport(self.dist.listen)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(64)
+        listener.setblocking(False)
+        self._listener = listener
+        self._sel = selectors.DefaultSelector()
+        self._sel.register(listener, selectors.EVENT_READ, "listener")
+        logger.info("coordinator listening on %s:%d", *self.address)
+        return self.address
+
+    # -- journal replay ------------------------------------------------
+    def _replay_journal(self, rec, bus) -> None:
+        finished = load_journal(self.journal_path)
+        for key, result in finished.items():
+            index = self.index_of.get(key)
+            if index is None:
+                # A journal shared with a different partition; the
+                # checkpoint layer has the same stance — ignore.
+                continue
+            result.tags.update(self.parsed[index][2])
+            self.results[index] = result
+            self.done_keys.add(key)
+            self.journaled.add(key)
+            bus.publish(
+                "cell.finished",
+                worker=None,
+                cell_id=f"cell-{index}",
+                seq=index,
+                verdict=result.verdict.value,
+                verdict_class=result.verdict_class(),
+                elapsed=0.0,
+                cached=True,
+            )
+        if finished:
+            rec.event(
+                "journal.resume",
+                path=str(self.journal_path),
+                finished_cells=len(self.journaled),
+            )
+        # Epoch floors: every pre-crash grant is replayed so a new
+        # grant's epoch is strictly above anything a zombie may hold.
+        for record in load_lease_records(self.journal_path):
+            shard_id = record.get("shard")
+            epoch = record.get("epoch")
+            if shard_id in self.table and isinstance(epoch, int):
+                self.table.restore_epoch(shard_id, epoch)
+        for shard in self.shards:
+            if all(self.keys[i] in self.done_keys for i in shard.indices):
+                self.table.force_complete(shard.shard_id)
+
+    # -- the loop ------------------------------------------------------
+    def serve(self) -> VerificationReport:
+        """Run the campaign to completion (or deadline/signal) and
+        return the merged report. :meth:`start` must have been called;
+        node agents may connect before or after serve() begins."""
+        assert self._sel is not None, "call start() first"
+        rec = get_recorder()
+        bus = get_bus()
+        run_started = time.perf_counter()
+        bus.publish(
+            "campaign.started",
+            total=len(self.parsed),
+            workers=0,
+            pid=os.getpid(),
+            distributed=True,
+            shards=len(self.shards),
+        )
+        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        self._replay_journal(rec, bus)
+        deadline_at = (
+            time.monotonic() + self.settings.deadline
+            if self.settings.deadline
+            else None
+        )
+        with open(self.journal_path, "a") as handle:
+            journal = _JournalWriter(handle, self.dist.fsync)
+            with trap_shutdown_signals() as stop:
+                while self.table.outstanding() > 0:
+                    if stop.requested:
+                        self.interrupted = stop.reason
+                    elif deadline_at is not None and time.monotonic() >= deadline_at:
+                        self.interrupted = "deadline"
+                    if self.interrupted:
+                        rec.event(
+                            "campaign.interrupted",
+                            reason=self.interrupted,
+                            outstanding_shards=self.table.outstanding(),
+                        )
+                        bus.publish(
+                            "campaign.interrupted",
+                            reason=self.interrupted,
+                            outstanding_shards=self.table.outstanding(),
+                        )
+                        break
+                    events = self._sel.select(timeout=self.dist.poll_interval)
+                    for key, _mask in events:
+                        if key.data == "listener":
+                            self._accept()
+                        else:
+                            self._read(key.data, journal, bus)
+                    now = time.monotonic()
+                    for lease in self.table.expire_due(now):
+                        self.stats.expired_leases += 1
+                        logger.warning(
+                            "lease expired: %s epoch %d held by %s "
+                            "(no heartbeat for %.1fs)",
+                            lease.shard_id, lease.epoch, lease.node_id,
+                            self.dist.lease_timeout,
+                        )
+                        bus.publish(
+                            "lease.expired",
+                            node=lease.node_id,
+                            shard=lease.shard_id,
+                            epoch=lease.epoch,
+                            reason="lease-timeout",
+                        )
+                    self._grant_idle(journal, bus, now)
+            self._shutdown_nodes(bus)
+        return self._build_report(rec, bus, run_started)
+
+    # -- connection handling -------------------------------------------
+    def _accept(self) -> None:
+        assert self._listener is not None and self._sel is not None
+        try:
+            sock, addr = self._listener.accept()
+        except OSError:
+            return
+        sock.settimeout(self.dist.socket_timeout)
+        conn = _Conn(sock, addr)
+        self._conns[sock] = conn
+        self._sel.register(sock, selectors.EVENT_READ, conn)
+
+    def _disconnect(self, conn: _Conn, bus, reason: str) -> None:
+        assert self._sel is not None
+        try:
+            self._sel.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        self._conns.pop(conn.sock, None)
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        if conn.node_id is not None and self._nodes.get(conn.node_id) is conn:
+            del self._nodes[conn.node_id]
+            bus.publish("node.disconnected", node=conn.node_id, reason=reason)
+            now = time.monotonic()
+            for lease in self.table.expire_node(conn.node_id, now, reason):
+                self.stats.expired_leases += 1
+                logger.warning(
+                    "lease expired: %s epoch %d — %s %s",
+                    lease.shard_id, lease.epoch, conn.node_id, reason,
+                )
+                bus.publish(
+                    "lease.expired",
+                    node=conn.node_id,
+                    shard=lease.shard_id,
+                    epoch=lease.epoch,
+                    reason=reason,
+                )
+
+    def _read(self, conn: _Conn, journal: _JournalWriter, bus) -> None:
+        try:
+            data = conn.sock.recv(_RECV_CHUNK)
+        except (OSError, socket.timeout):
+            self._disconnect(conn, bus, "recv-error")
+            return
+        if not data:
+            self._disconnect(conn, bus, "disconnect")
+            return
+        try:
+            frames = conn.decoder.feed(data)
+        except FrameError as exc:
+            logger.warning("%s: protocol error: %s", conn.addr, exc)
+            self._disconnect(conn, bus, "protocol-error")
+            return
+        for frame in frames:
+            self._dispatch(conn, frame, journal, bus)
+
+    def _send(self, conn: _Conn, payload: dict, bus) -> None:
+        try:
+            send_frame(conn.sock, payload)
+        except (OSError, FrameError):
+            self._disconnect(conn, bus, "send-error")
+
+    # -- frame handlers ------------------------------------------------
+    def _fence(self, conn: _Conn, frame: dict, bus) -> None:
+        self.stats.fenced_frames += 1
+        bus.publish(
+            "node.fenced",
+            node=frame.get("node"),
+            shard=frame.get("shard"),
+            epoch=frame.get("epoch"),
+            frame=frame.get("type"),
+        )
+        self._send(
+            conn,
+            {"type": "fence", "shard": frame.get("shard"),
+             "epoch": frame.get("epoch")},
+            bus,
+        )
+
+    def _dispatch(
+        self, conn: _Conn, frame: dict, journal: _JournalWriter, bus
+    ) -> None:
+        kind = frame.get("type")
+        if kind == "hello":
+            node_id = str(frame.get("node"))
+            conn.node_id = node_id
+            stale = self._nodes.get(node_id)
+            if stale is not None and stale is not conn:
+                # Same node id reconnecting (restarted agent): the old
+                # socket is a zombie's. Latest hello wins; the old
+                # connection's frames keep being fenced until it dies.
+                logger.info("%s reconnected; superseding old connection", node_id)
+            self._nodes[node_id] = conn
+            conn.busy = False
+            if node_id not in self.stats.nodes_seen:
+                self.stats.nodes_seen.append(node_id)
+            bus.publish(
+                "node.connected",
+                node=node_id,
+                workers=frame.get("workers"),
+                pid=frame.get("pid"),
+            )
+            self._send(
+                conn, {"type": "welcome", "config": self.welcome_config}, bus
+            )
+            return
+        if conn.node_id is None:
+            logger.warning("%s: frame before hello; dropping", conn.addr)
+            return
+        node_id = str(frame.get("node") or conn.node_id)
+        shard_id = frame.get("shard")
+        epoch = int(frame.get("epoch") or 0)
+
+        if kind == "heartbeat":
+            payload = frame.get("payload") or {}
+            # The beat is ground truth for busyness, fenced or not: a
+            # node beating with a shard is computing (possibly a stale
+            # epoch); one beating with none is ready for work again.
+            conn.busy = shard_id is not None
+            if shard_id is not None and not self.table.renew(
+                shard_id, node_id, epoch, time.monotonic()
+            ):
+                self._fence(conn, frame, bus)
+                return
+            bus.publish(
+                "node.heartbeat",
+                node=node_id,
+                shard=shard_id,
+                epoch=epoch,
+                **{
+                    k: payload.get(k)
+                    for k in (
+                        "pid", "rss_bytes", "cells_completed",
+                        "cell_id", "cell_elapsed",
+                    )
+                },
+            )
+            return
+        if kind == "result":
+            if shard_id is None or not self.table.is_current(
+                shard_id, node_id, epoch
+            ):
+                self._fence(conn, frame, bus)
+                return
+            self.table.renew(shard_id, node_id, epoch, time.monotonic())
+            key = frame.get("key")
+            index = self.index_of.get(key)
+            if index is None:
+                logger.warning("%s: result for unknown cell key; dropping", node_id)
+                return
+            if key in self.done_keys:
+                # Should be unreachable while the lease discipline
+                # holds; counted so the acceptance drill can prove it.
+                self.stats.duplicate_results += 1
+                logger.error("duplicate result for %s from %s", key, node_id)
+                return
+            result = CellResult.from_dict(frame["result"])
+            self.results[index] = result
+            self.done_keys.add(key)
+            journal.append(
+                key, result,
+                extra={"shard": shard_id, "epoch": epoch, "node": node_id},
+            )
+            if not result.quarantined:
+                self.journaled.add(key)
+            bus.publish(
+                "cell.finished",
+                worker=None,
+                node=node_id,
+                cell_id=f"cell-{index}",
+                seq=index,
+                verdict=result.verdict.value,
+                verdict_class=result.verdict_class(),
+                elapsed=result.elapsed_seconds,
+            )
+            _notify_progress(
+                self.progress, len(self.done_keys), len(self.parsed), result
+            )
+            return
+        if kind == "shard_done":
+            conn.busy = False
+            if shard_id is None or not self.table.complete(shard_id, node_id, epoch):
+                self._fence(conn, frame, bus)
+                return
+            bus.publish(
+                "lease.completed", node=node_id, shard=shard_id, epoch=epoch
+            )
+            logger.info("%s completed %s (epoch %d)", node_id, shard_id, epoch)
+            return
+        logger.warning("%s: unknown frame type %r", node_id, kind)
+
+    # -- granting ------------------------------------------------------
+    def _grant_idle(self, journal: _JournalWriter, bus, now: float) -> None:
+        # Enrollment barrier, not a liveness requirement: hold the first
+        # grants until the expected fleet has said hello (so the initial
+        # spread is balanced and deterministic), but once enrolled, keep
+        # granting to whoever is left — a crashed node must not stall
+        # the campaign.
+        if (
+            self.dist.expected_nodes
+            and len(self.stats.nodes_seen) < self.dist.expected_nodes
+        ):
+            return
+        claimable = self.table.claimable(now)
+        if not claimable:
+            return
+        idle = [
+            node_id
+            for node_id in sorted(self._nodes)
+            if not self._nodes[node_id].busy
+            and self.table.node_lease(node_id) is None
+        ]
+        for shard_id in claimable:
+            if not idle:
+                return
+            shard = self.table.shard(shard_id)
+            pending = [i for i in shard.indices if self.keys[i] not in self.done_keys]
+            if not pending:
+                # Everything streamed in before the previous holder's
+                # lease died — nothing left to steal.
+                self.table.force_complete(shard_id)
+                bus.publish(
+                    "lease.completed", node=None, shard=shard_id,
+                    epoch=self.table.epoch(shard_id),
+                )
+                continue
+            # Steal anti-affinity: a node that went silent holding this
+            # shard may be dead without the socket ever EOFing (TCP
+            # gives no signal for a vanished peer), so prefer any other
+            # idle node; fall back to the last holder only when it is
+            # the sole candidate (it may merely have been slow).
+            failed = self.table.last_failed_node(shard_id)
+            node_id = next((n for n in idle if n != failed), idle[0])
+            idle.remove(node_id)
+            conn = self._nodes[node_id]
+            lease = self.table.grant(shard_id, node_id, now)
+            self.stats.grants += 1
+            stolen = lease.epoch > 1
+            if stolen:
+                self.stats.stolen_cells += len(pending)
+                self.stats.steal_excluded += len(shard.indices) - len(pending)
+            # Durable before visible: the lease record hits the journal
+            # before the grant frame hits the wire, so a coordinator
+            # restart can never readmit an epoch it forgot granting.
+            journal.append_record(
+                {
+                    "lease": {
+                        "shard": shard_id,
+                        "epoch": lease.epoch,
+                        "node": node_id,
+                    }
+                }
+            )
+            cells_payload = [
+                {
+                    "index": i,
+                    "key": self.keys[i],
+                    "lo": [float(v) for v in self.parsed[i][0].lo],
+                    "hi": [float(v) for v in self.parsed[i][0].hi],
+                    "command": self.parsed[i][1],
+                    "tags": self.parsed[i][2],
+                }
+                for i in pending
+            ]
+            bus.publish(
+                "lease.granted",
+                node=node_id,
+                shard=shard_id,
+                epoch=lease.epoch,
+                cells=len(pending),
+                stolen=stolen,
+            )
+            logger.info(
+                "granted %s epoch %d to %s (%d cells%s)",
+                shard_id, lease.epoch, node_id, len(pending),
+                f", {len(shard.indices) - len(pending)} already journaled"
+                if stolen else "",
+            )
+            conn.busy = True
+            self._send(
+                conn,
+                {
+                    "type": "grant",
+                    "shard": shard_id,
+                    "epoch": lease.epoch,
+                    "cells": cells_payload,
+                },
+                bus,
+            )
+
+    # -- teardown ------------------------------------------------------
+    def _shutdown_nodes(self, bus) -> None:
+        for conn in list(self._conns.values()):
+            self._send(conn, {"type": "shutdown"}, bus)
+        for conn in list(self._conns.values()):
+            self._disconnect(conn, bus, "shutdown")
+        if self._listener is not None:
+            try:
+                if self._sel is not None:
+                    self._sel.unregister(self._listener)
+            except (KeyError, ValueError):
+                pass
+            self._listener.close()
+            self._listener = None
+        if self._sel is not None:
+            self._sel.close()
+            self._sel = None
+
+    def _build_report(self, rec, bus, run_started: float) -> VerificationReport:
+        report = VerificationReport(
+            cells=[self.results[i] for i in sorted(self.results)]
+        )
+        report.wall_seconds = time.perf_counter() - run_started
+        report.settings_summary = _settings_summary(self.settings, self.interrupted)
+        report.settings_summary["journal"] = str(self.journal_path)
+        report.settings_summary["distributed"] = {
+            "shards": len(self.shards),
+            "lease_timeout": self.dist.lease_timeout,
+            **self.stats.to_dict(),
+        }
+        if rec.enabled:
+            report.metrics = rec.metrics.snapshot()
+        bus.publish(
+            "campaign.finished",
+            interrupted=self.interrupted,
+            verdicts=report.verdict_counts(),
+            coverage=report.coverage_percent(),
+            wall_seconds=report.wall_seconds,
+        )
+        return report
+
+
+# ----------------------------------------------------------------------
+# The localhost topology: `verify --distributed`
+# ----------------------------------------------------------------------
+def run_distributed(
+    system_factory: Callable[[], object],
+    cells: Sequence[tuple],
+    journal_path: str | Path,
+    settings: RunnerSettings | None = None,
+    dist: DistributedSettings | None = None,
+    nodes: int = 3,
+    workers_per_node: int = 1,
+    progress: Callable[[int, int], None] | None = None,
+    node_env: dict[str, str] | None = None,
+) -> VerificationReport:
+    """Run a distributed campaign entirely on this machine: fork
+    ``nodes`` node agents against a loopback coordinator and serve to
+    completion. The degenerate single-host case of the topology — and
+    the deterministic harness the fault drill runs against.
+
+    ``node_env`` entries are set in each forked agent (the drill uses
+    it to scope ``REPRO_FAULTS`` to the nodes). The agents inherit the
+    caller's ``system_factory`` and ``settings`` through the fork, so
+    they verify with exactly the campaign's configuration.
+    """
+    import multiprocessing
+
+    from ..obs.live import set_bus
+    from .node import NodeSettings, run_node
+
+    settings = settings or RunnerSettings()
+    dist = dist or DistributedSettings()
+    coordinator = Coordinator(
+        cells,
+        journal_path,
+        settings=settings,
+        dist=dist,
+        progress=progress,
+    )
+    host, port = coordinator.start()
+
+    ctx = multiprocessing.get_context("fork")
+
+    def agent_main(node_index: int) -> None:
+        # The fork inherits the parent's live bus and recorder; the
+        # agent must not write to either (the parent owns those file
+        # handles and threads).
+        set_bus(None)
+        from ..obs import set_recorder
+
+        set_recorder(None)
+        for key, value in (node_env or {}).items():
+            os.environ[key] = value
+        node_settings = NodeSettings(
+            connect=f"{host}:{port}",
+            node_id=f"node-{node_index}",
+            workers=workers_per_node,
+        )
+        try:
+            run_node(
+                node_settings,
+                system_factory=system_factory,
+                runner_settings=settings,
+            )
+        except (OSError, EOFError, FrameError) as exc:
+            logger.warning("node-%d: %s", node_index, exc)
+
+    # Not daemonic: each agent forks its own supervised worker pool,
+    # and daemonic processes may not have children.
+    procs = [
+        ctx.Process(target=agent_main, args=(i,), name=f"repro-node-{i}")
+        for i in range(nodes)
+    ]
+    for proc in procs:
+        proc.start()
+    try:
+        report = coordinator.serve()
+    finally:
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+    report.settings_summary["distributed"]["nodes"] = nodes
+    report.settings_summary["distributed"]["workers_per_node"] = workers_per_node
+    return report

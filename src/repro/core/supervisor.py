@@ -310,6 +310,23 @@ def _worker_main(
     # process group, so workers ignore SIGINT and let the supervisor
     # drain them.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # If the supervisor dies without cleanup (os._exit, SIGKILL, OOM),
+    # the worker must not linger: the forked child holds its own copy
+    # of the pipe's write end, so ``conn.recv()`` below would never see
+    # EOF and the orphan would sit forever — still pinning every fd it
+    # inherited (in a distributed campaign, the node's coordinator
+    # socket, which keeps the dead node looking alive). Watch the
+    # parent's sentinel and exit the moment it fires.
+    parent = multiprocessing.parent_process()
+    if parent is not None:
+        threading.Thread(
+            target=lambda: (
+                multiprocessing.connection.wait([parent.sentinel]),
+                os._exit(1),
+            ),
+            daemon=True,
+            name="parent-watchdog",
+        ).start()
     # The forked child inherits the parent's live telemetry bus, whose
     # subscribers hold parent-owned file handles and server threads:
     # drop it. Worker liveness flows back through the pipe instead.

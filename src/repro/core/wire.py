@@ -1,0 +1,144 @@
+"""Length-prefixed JSON framing for the distributed campaign protocol.
+
+The coordinator (:mod:`repro.core.coordinator`) and node agents
+(:mod:`repro.core.node`) talk over plain TCP — localhost and multi-host
+alike — exchanging *frames*: a 4-byte big-endian length header followed
+by a UTF-8 JSON document. JSON keeps the protocol debuggable
+(``tcpdump`` shows readable grants and results) and versionable (old
+peers skip fields they do not know); the length prefix makes message
+boundaries explicit, so a frame is either delivered whole or the
+connection is visibly broken — there is no "half a result" state for
+the lease machinery to misread.
+
+Two consumption styles, matching the two sides of the protocol:
+
+* :func:`recv_frame` — blocking read of exactly one frame (the node
+  agent's main loop, which has nothing to do until the coordinator
+  speaks);
+* :class:`FrameDecoder` — incremental feed/drain for the coordinator's
+  ``selectors`` event loop, where a single ``recv`` may carry a burst
+  of result frames from a fast node, or half of one.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+#: 4-byte big-endian unsigned frame length.
+HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame. A grant for a whole shard of a
+#: paper-scale partition (~thousands of cells at ~200 bytes each) fits
+#: comfortably; anything larger is a corrupt header or a stray client,
+#: and must not make the receiver allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FrameError(ConnectionError):
+    """A malformed frame: bad header, oversized length, or non-JSON
+    payload. Treated like a broken connection — the peer is not
+    speaking the protocol, so the link is torn down and the lease
+    machinery recovers exactly as it would from a crash."""
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One wire-ready frame: header + compact JSON."""
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(data)} bytes exceeds {MAX_FRAME_BYTES}")
+    return HEADER.pack(len(data)) + data
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Send one frame (``sendall``: whole frame or an OSError)."""
+    sock.sendall(encode_frame(payload))
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes; raises ``EOFError`` on a clean close
+    mid-read (the peer died — let the caller's recovery path run)."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise EOFError(f"connection closed with {remaining} bytes outstanding")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    """Blocking read of one frame (node-agent side)."""
+    (length,) = HEADER.unpack(recv_exact(sock, HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame header announces {length} bytes")
+    data = recv_exact(sock, length)
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FrameError(f"frame is {type(payload).__name__}, expected object")
+    return payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder for non-blocking sockets.
+
+    Feed it whatever ``recv`` returned; it yields every complete frame
+    and buffers the tail. One decoder per connection — the buffer *is*
+    the connection's read state.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        self._buffer.extend(data)
+        frames: list[dict] = []
+        while True:
+            if len(self._buffer) < HEADER.size:
+                return frames
+            (length,) = HEADER.unpack(self._buffer[: HEADER.size])
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(f"frame header announces {length} bytes")
+            end = HEADER.size + length
+            if len(self._buffer) < end:
+                return frames
+            data_bytes = bytes(self._buffer[HEADER.size : end])
+            del self._buffer[:end]
+            try:
+                payload = json.loads(data_bytes.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise FrameError(f"undecodable frame: {exc}") from exc
+            if not isinstance(payload, dict):
+                raise FrameError(
+                    f"frame is {type(payload).__name__}, expected object"
+                )
+            frames.append(payload)
+
+
+def parse_hostport(spec: str, default_port: int = 0) -> tuple[str, int]:
+    """``HOST:PORT`` / ``HOST`` / ``:PORT`` → ``(host, port)``.
+
+    A bare host listens/connects on ``default_port``; a bare ``:PORT``
+    means localhost.
+    """
+    spec = spec.strip()
+    if not spec:
+        raise ValueError("empty host:port")
+    host, sep, port_text = spec.rpartition(":")
+    if not sep:
+        return spec, default_port
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ValueError(f"bad port in {spec!r}: {port_text!r}") from exc
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port out of range in {spec!r}")
+    return host, port

@@ -45,6 +45,7 @@ from .live import (
     LiveStatusWriter,
     LiveTelemetry,
     MetricsServer,
+    NodeState,
     NullTelemetryBus,
     TelemetryBus,
     TelemetrySettings,
@@ -100,6 +101,7 @@ __all__ = [
     "LiveTelemetry",
     "MetricsRegistry",
     "MetricsServer",
+    "NodeState",
     "NULL_BUS",
     "NULL_RECORDER",
     "NullRecorder",

@@ -110,6 +110,9 @@ class RunRecord:
     phases: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
     gauges: dict = field(default_factory=dict)
+    #: Node ids of a distributed campaign (empty for single-host runs;
+    #: tolerated as absent when reading records from older releases).
+    nodes: list = field(default_factory=list)
     #: Free-form: argv, trace/report file paths, bench name...
     extra: dict = field(default_factory=dict)
 
@@ -130,6 +133,7 @@ class RunRecord:
             phases=dict(payload.get("phases") or {}),
             counters=dict(payload.get("counters") or {}),
             gauges=dict(payload.get("gauges") or {}),
+            nodes=list(payload.get("nodes") or []),
             extra=dict(payload.get("extra") or {}),
         )
 
@@ -151,6 +155,8 @@ class RunRecord:
             line += f" aborted {verdicts['aborted']}"
         if verdicts.get("timed-out"):
             line += f" timed-out {verdicts['timed-out']}"
+        if self.nodes:
+            line += f" nodes {len(self.nodes)}"
         return f"{line}  [{self.git_sha[:10]}]"
 
 
@@ -185,6 +191,9 @@ def record_from_report(
     wall = wall_seconds
     if wall is None:
         wall = getattr(report, "wall_seconds", 0.0) or report.total_elapsed()
+    distributed = (getattr(report, "settings_summary", {}) or {}).get(
+        "distributed"
+    ) or {}
     record = RunRecord(
         run_id=run_id if run_id is not None else new_run_id(kind, started_at),
         kind=kind,
@@ -197,6 +206,7 @@ def record_from_report(
         phases=phases_from_metrics(metrics),
         counters=dict(metrics.get("counters") or {}),
         gauges=dict(metrics.get("gauges") or {}),
+        nodes=list(distributed.get("nodes_seen") or []),
         extra=dict(extra or {}),
     )
     return record

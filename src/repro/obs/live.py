@@ -299,6 +299,62 @@ def stalled(worker: WorkerState, now: float, stall_after: float) -> bool:
     return (now - reference) > stall_after
 
 
+@dataclass
+class NodeState:
+    """What the snapshot knows about one node agent of a distributed
+    campaign (fed by the coordinator's ``node.*`` / ``lease.*`` events)."""
+
+    node_id: str
+    pid: int | None = None
+    workers: int | None = None
+    #: connected | computing | disconnected
+    state: str = "connected"
+    connected_at: float | None = None
+    shard: str | None = None
+    epoch: int | None = None
+    lease_granted_at: float | None = None
+    cells_completed: int = 0
+    last_heartbeat_at: float | None = None
+    rss_bytes: int = 0
+    #: Stale-epoch frames of this node's the coordinator discarded.
+    fenced: int = 0
+    leases_lost: int = 0
+    disconnect_reason: str | None = None
+
+    def rate(self, now: float) -> float:
+        if self.connected_at is None or not self.cells_completed:
+            return 0.0
+        elapsed = now - self.connected_at
+        return self.cells_completed / elapsed if elapsed > 0 else 0.0
+
+    def to_dict(self, now: float) -> dict:
+        return {
+            "node": self.node_id,
+            "pid": self.pid,
+            "workers": self.workers,
+            "state": self.state,
+            "shard": self.shard,
+            "epoch": self.epoch,
+            "lease_age": (
+                round(now - self.lease_granted_at, 3)
+                if self.lease_granted_at is not None
+                else None
+            ),
+            "cells_completed": self.cells_completed,
+            "last_heartbeat_at": self.last_heartbeat_at,
+            "heartbeat_age": (
+                round(now - self.last_heartbeat_at, 3)
+                if self.last_heartbeat_at is not None
+                else None
+            ),
+            "rate": round(self.rate(now), 4),
+            "rss_bytes": self.rss_bytes,
+            "fenced": self.fenced,
+            "leases_lost": self.leases_lost,
+            "disconnect_reason": self.disconnect_reason,
+        }
+
+
 class CampaignSnapshot:
     """Folds the bus's event stream into one thread-safe aggregate.
 
@@ -326,6 +382,10 @@ class CampaignSnapshot:
         self.quarantined = 0
         self.interrupted: str | None = None
         self.workers: dict[int, WorkerState] = {}
+        self.nodes: dict[str, NodeState] = {}
+        self.shards: int = 0
+        self.leases_expired = 0
+        self.fenced_frames = 0
         self.metrics_port: int | None = None
 
     # -- folding -------------------------------------------------------
@@ -341,6 +401,14 @@ class CampaignSnapshot:
             state = self.workers[wid] = WorkerState(id=wid)
         return state
 
+    def _node(self, node_id: str) -> NodeState:
+        state = self.nodes.get(node_id)
+        if state is None:
+            # sound: ok [C004] _node is only reached from on_event, which
+            # already holds self._lock around the call.
+            state = self.nodes[node_id] = NodeState(node_id=node_id)
+        return state
+
     def on_event(self, event: dict) -> None:
         kind = event.get("kind")
         ts = event.get("ts", time.time())
@@ -349,6 +417,7 @@ class CampaignSnapshot:
                 self.state = "running"
                 self.started_at = ts
                 self.total = int(event.get("total", 0))
+                self.shards = int(event.get("shards", 0) or 0)
             elif kind == "campaign.finished":
                 self.state = "interrupted" if event.get("interrupted") else "finished"
                 self.interrupted = event.get("interrupted")
@@ -397,6 +466,8 @@ class CampaignSnapshot:
                     worker.cell_started_at = None
                     worker.cell_elapsed = 0.0
                     worker.cells_completed += 1
+                elif event.get("node") is not None:
+                    self._node(str(event["node"])).cells_completed += 1
             elif kind == "cell.retried":
                 self.retries += 1
             elif kind == "cell.quarantined":
@@ -418,6 +489,53 @@ class CampaignSnapshot:
                 worker = self._worker(int(event["worker"]))
                 if worker.state not in ("dead", "killed"):
                     worker.state = "done"
+            elif kind == "node.connected":
+                node = self._node(str(event["node"]))
+                node.state = "connected"
+                node.connected_at = ts
+                node.pid = event.get("pid")
+                node.workers = event.get("workers")
+                node.disconnect_reason = None
+            elif kind == "node.heartbeat":
+                node = self._node(str(event["node"]))
+                node.last_heartbeat_at = ts
+                if event.get("pid") is not None:
+                    node.pid = event["pid"]
+                node.rss_bytes = int(event.get("rss_bytes", node.rss_bytes) or 0)
+            elif kind == "lease.granted":
+                node = self._node(str(event["node"]))
+                node.state = "computing"
+                node.shard = event.get("shard")
+                node.epoch = event.get("epoch")
+                node.lease_granted_at = ts
+            elif kind == "lease.completed":
+                if event.get("node") is not None:
+                    node = self._node(str(event["node"]))
+                    if node.shard == event.get("shard"):
+                        node.state = "connected"
+                        node.shard = None
+                        node.epoch = None
+                        node.lease_granted_at = None
+            elif kind == "lease.expired":
+                self.leases_expired += 1
+                if event.get("node") is not None:
+                    node = self._node(str(event["node"]))
+                    node.leases_lost += 1
+                    if node.shard == event.get("shard"):
+                        node.shard = None
+                        node.epoch = None
+                        node.lease_granted_at = None
+            elif kind == "node.fenced":
+                self.fenced_frames += 1
+                if event.get("node") is not None:
+                    self._node(str(event["node"])).fenced += 1
+            elif kind == "node.disconnected":
+                node = self._node(str(event["node"]))
+                node.state = "disconnected"
+                node.disconnect_reason = event.get("reason")
+                node.shard = None
+                node.epoch = None
+                node.lease_granted_at = None
 
     # -- derived -------------------------------------------------------
     def rate(self, now: float | None = None) -> float:
@@ -448,6 +566,10 @@ class CampaignSnapshot:
                 w.to_dict(now, self.settings.stall_after)
                 for w in sorted(self.workers.values(), key=lambda w: w.id)
             ]
+            nodes = [
+                n.to_dict(now)
+                for n in sorted(self.nodes.values(), key=lambda n: n.node_id)
+            ]
             return {
                 "run_id": self.run_id,
                 "pid": self.pid,
@@ -469,6 +591,12 @@ class CampaignSnapshot:
                 "metrics_port": self.metrics_port,
                 "workers": workers,
                 "stalled": sum(1 for w in workers if w["stalled"]),
+                # Distributed campaigns only; empty/zero on single-host
+                # runs, and old readers simply ignore the keys.
+                "nodes": nodes,
+                "shards": self.shards,
+                "leases_expired": self.leases_expired,
+                "fenced_frames": self.fenced_frames,
             }
 
 
@@ -860,6 +988,54 @@ def render_watch(status: dict, now: float | None = None) -> str:
         for row in rows:
             lines.append("  " + "  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
 
+    nodes = status.get("nodes") or []
+    if nodes:
+        rows = []
+        lost = 0
+        for node in nodes:
+            if node.get("state") == "disconnected":
+                lost += 1
+            beat = node.get("last_heartbeat_at")
+            age = now - beat if beat else None
+            lease_age = node.get("lease_age")
+            state = node.get("state", "?")
+            if state == "disconnected" and node.get("disconnect_reason"):
+                state += f" ({node['disconnect_reason']})"
+            rows.append(
+                (
+                    str(node.get("node", "?")),
+                    state,
+                    (node.get("shard") or "-")
+                    + (f"@{node['epoch']}" if node.get("epoch") else ""),
+                    f"{lease_age:.1f}s" if lease_age is not None else "-",
+                    f"{age:.1f}s" if age is not None else "-",
+                    str(node.get("cells_completed", 0)),
+                    f"{node.get('rate') or 0.0:.2f}",
+                    _human_bytes(node.get("rss_bytes")),
+                    str(node.get("fenced", 0) or "-"),
+                )
+            )
+        header = ("node", "state", "shard", "lease age", "hb age",
+                  "cells", "cell/s", "rss", "fenced")
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rows))
+            for i in range(len(header))
+        ]
+        title = f"nodes ({len(nodes)}"
+        if lost:
+            title += f", {lost} lost"
+        if status.get("shards"):
+            title += f"; {status['shards']} shards"
+        if status.get("leases_expired"):
+            title += f", {status['leases_expired']} leases expired"
+        if status.get("fenced_frames"):
+            title += f", {status['fenced_frames']} frames fenced"
+        title += "):"
+        lines.append(title)
+        lines.append("  " + "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        for row in rows:
+            lines.append("  " + "  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+
     updated = status.get("updated_at")
     if updated:
         lines.append(f"updated {max(0.0, now - float(updated)):.1f}s ago")
@@ -947,6 +1123,60 @@ def render_prometheus(status: dict, now: float | None = None) -> str:
                 for w in workers
             ],
         )
+
+    nodes = status.get("nodes") or []
+    if nodes:
+        def per_node(key: str):
+            return [
+                (f'{{node="{n.get("node")}"}}', float(n.get(key) or 0.0))
+                for n in nodes
+            ]
+
+        metric("repro_node_up", "gauge",
+               "1 while the node agent is connected.",
+               [
+                   (f'{{node="{n.get("node")}"}}',
+                    0.0 if n.get("state") == "disconnected" else 1.0)
+                   for n in nodes
+               ])
+        metric("repro_node_cells_completed", "counter",
+               "Cells this node streamed back (accepted by the lease).",
+               per_node("cells_completed"))
+        metric("repro_node_rate_cells_per_second", "gauge",
+               "Per-node completion rate since it connected.",
+               per_node("rate"))
+        metric("repro_node_rss_bytes", "gauge",
+               "Node agent resident set size.", per_node("rss_bytes"))
+        metric(
+            "repro_node_heartbeat_age_seconds", "gauge",
+            "Seconds since the node's newest heartbeat.",
+            [
+                (
+                    f'{{node="{n.get("node")}"}}',
+                    max(0.0, now - float(n["last_heartbeat_at"])),
+                )
+                for n in nodes
+                if n.get("last_heartbeat_at")
+            ],
+        )
+        metric(
+            "repro_node_lease_age_seconds", "gauge",
+            "Age of the node's current shard lease.",
+            [
+                (f'{{node="{n.get("node")}"}}', float(n["lease_age"]))
+                for n in nodes
+                if n.get("lease_age") is not None
+            ],
+        )
+        metric("repro_node_fenced_frames_total", "counter",
+               "Stale-epoch frames from this node the coordinator discarded.",
+               per_node("fenced"))
+        metric("repro_campaign_leases_expired_total", "counter",
+               "Shard leases expired (missed heartbeats or disconnects).",
+               [("", float(status.get("leases_expired", 0)))])
+        metric("repro_campaign_fenced_frames_total", "counter",
+               "Frames fenced campaign-wide.",
+               [("", float(status.get("fenced_frames", 0)))])
     return "\n".join(out) + "\n"
 
 

@@ -28,6 +28,24 @@ fault injection at the four seams:
   ``<cell>`` (default: every cell) is replaced with garbage.
   Exercises the parent's merge guard.
 
+Distributed campaigns (:mod:`repro.core.coordinator` /
+:mod:`repro.core.node`) add node-level kinds, targeted by *shard id*
+(``shard-<k>``, stable across runs — see
+:func:`repro.core.lease.assign_shards`):
+
+* ``node-crash:<shard>[:<n>|*]`` — the node agent calls ``os._exit``
+  halfway through computing ``<shard>`` (first ``n`` lease epochs,
+  default 1; ``*`` = every epoch). Exercises lease expiry on
+  disconnect and cell-granularity work stealing.
+* ``node-netsplit:<shard>[:<seconds>]`` — the node agent keeps
+  computing ``<shard>`` but stops sending frames for ``<seconds>``
+  (default 3600 s), then flushes what it buffered. Exercises
+  heartbeat-timeout lease expiry and epoch fencing of the returning
+  zombie. First lease epoch only, so the stealing node is unaffected.
+* ``node-slowjoin:<seconds>`` — the node agent sleeps before
+  connecting (default 1 s). Exercises a campaign that starts with
+  fewer nodes than expected and picks up stragglers.
+
 Faults come from :func:`install_faults` (tests) or the ``REPRO_FAULTS``
 environment variable (live runs; fork workers inherit both). With no
 faults installed every hook is a ``None`` check — campaigns in
@@ -51,7 +69,9 @@ CRASH_EXIT_CODE = 43
 
 #: Fault kinds that target a specific cell attempt inside a worker.
 _WORKER_KINDS = ("crash", "hang", "slow", "stall")
-_ALL_KINDS = _WORKER_KINDS + ("torn-journal", "corrupt-metrics")
+#: Fault kinds that target a node agent's handling of a shard lease.
+_NODE_KINDS = ("node-crash", "node-netsplit", "node-slowjoin")
+_ALL_KINDS = _WORKER_KINDS + ("torn-journal", "corrupt-metrics") + _NODE_KINDS
 
 
 class FaultSpecError(ValueError):
@@ -63,11 +83,13 @@ class FaultSpec:
     """One parsed fault directive."""
 
     kind: str
-    #: Target cell id for crash/hang/slow/corrupt-metrics (None = any).
+    #: Target cell id for crash/hang/slow/corrupt-metrics, or target
+    #: shard id for the node-* kinds (None = any).
     cell_id: str | None = None
-    #: crash: number of leading attempts to crash (-1 = every attempt).
+    #: crash/node-crash: number of leading attempts (lease epochs, for
+    #: node-crash) to fire on (-1 = every attempt).
     attempts: int = 1
-    #: hang/slow: sleep duration in seconds.
+    #: hang/slow/node-netsplit/node-slowjoin: duration in seconds.
     seconds: float = 3600.0
     #: torn-journal: which journal append to tear (1-based).
     nth: int = 1
@@ -102,6 +124,33 @@ def parse_faults(spec: str) -> list[FaultSpec]:
                     1.0 if kind == "slow" else 3600.0
                 )
                 faults.append(FaultSpec(kind, cell_id=parts[1], seconds=seconds))
+            elif kind == "node-crash":
+                if len(parts) < 2 or len(parts) > 3:
+                    raise FaultSpecError(
+                        f"{token!r}: expected node-crash:<shard>[:<n>|*]"
+                    )
+                attempts = 1
+                if len(parts) == 3:
+                    attempts = -1 if parts[2] == "*" else int(parts[2])
+                faults.append(
+                    FaultSpec("node-crash", cell_id=parts[1], attempts=attempts)
+                )
+            elif kind == "node-netsplit":
+                if len(parts) < 2 or len(parts) > 3:
+                    raise FaultSpecError(
+                        f"{token!r}: expected node-netsplit:<shard>[:<seconds>]"
+                    )
+                seconds = float(parts[2]) if len(parts) == 3 else 3600.0
+                faults.append(
+                    FaultSpec("node-netsplit", cell_id=parts[1], seconds=seconds)
+                )
+            elif kind == "node-slowjoin":
+                if len(parts) > 2:
+                    raise FaultSpecError(
+                        f"{token!r}: expected node-slowjoin[:<seconds>]"
+                    )
+                seconds = float(parts[1]) if len(parts) == 2 else 1.0
+                faults.append(FaultSpec("node-slowjoin", seconds=seconds))
             elif kind == "torn-journal":
                 if len(parts) > 2:
                     raise FaultSpecError(f"{token!r}: expected torn-journal[:<nth>]")
@@ -190,6 +239,31 @@ class FaultInjector:
         if spec is not None and attempt == 0:
             return {"counters": ["not", "a", "mapping"], "corrupted-by": "fault-injection"}
         return delta
+
+    # -- node-agent side -----------------------------------------------
+    def node_crash_active(self, shard_id: str, epoch: int) -> bool:
+        """True when a ``node-crash`` fault targets this shard grant
+        (``epoch`` is 1-based, mirroring the lease epoch): the agent
+        must ``os._exit`` partway through the shard."""
+        spec = self._match("node-crash", shard_id)
+        return spec is not None and (spec.attempts < 0 or epoch <= spec.attempts)
+
+    def node_netsplit_seconds(self, shard_id: str, epoch: int) -> float | None:
+        """Blackout duration when a ``node-netsplit`` fault targets this
+        shard grant, else None. First epoch only: the shard's *next*
+        holder (the work stealer) must not inherit the split."""
+        spec = self._match("node-netsplit", shard_id)
+        if spec is not None and epoch == 1:
+            return spec.seconds
+        return None
+
+    def node_slowjoin_seconds(self) -> float:
+        """Seconds a node agent should sleep before connecting
+        (0.0 = no ``node-slowjoin`` fault installed)."""
+        for spec in self.specs:
+            if spec.kind == "node-slowjoin":
+                return spec.seconds
+        return 0.0
 
     # -- parent-side ---------------------------------------------------
     def tear_journal_line(self, line: str) -> tuple[str, bool]:

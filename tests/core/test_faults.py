@@ -65,14 +65,61 @@ class TestSpecParsing:
     def test_whitespace_and_empty_tokens_tolerated(self):
         assert len(parse_faults(" crash:c0 , , slow:c1 ")) == 2
 
+    def test_node_crash_variants(self):
+        assert parse_faults("node-crash:shard-3") == [
+            FaultSpec("node-crash", cell_id="shard-3", attempts=1)
+        ]
+        assert parse_faults("node-crash:shard-3:2")[0].attempts == 2
+        assert parse_faults("node-crash:shard-3:*")[0].attempts == -1
+
+    def test_node_netsplit_defaults(self):
+        split = parse_faults("node-netsplit:shard-1")[0]
+        assert split.cell_id == "shard-1"
+        assert split.seconds == 3600.0
+        assert parse_faults("node-netsplit:shard-1:2.5")[0].seconds == 2.5
+
+    def test_node_slowjoin_takes_no_shard(self):
+        assert parse_faults("node-slowjoin")[0].seconds == 1.0
+        assert parse_faults("node-slowjoin:0.2")[0].seconds == 0.2
+
+    def test_node_kinds_compose_with_worker_kinds(self):
+        specs = parse_faults("crash:cell-0,node-crash:shard-2,node-netsplit:shard-4:3")
+        assert [s.kind for s in specs] == ["crash", "node-crash", "node-netsplit"]
+
     @pytest.mark.parametrize(
         "spec",
         ["explode:c0", "crash", "crash:c0:x", "hang", "torn-journal:one",
-         "torn-journal:1:2", "corrupt-metrics:a:b"],
+         "torn-journal:1:2", "corrupt-metrics:a:b", "node-crash",
+         "node-crash:s0:x", "node-netsplit", "node-netsplit:s0:a:b",
+         "node-slowjoin:1:2", "node-slowjoin:soon"],
     )
     def test_bad_specs_rejected(self, spec):
         with pytest.raises(FaultSpecError):
             parse_faults(spec)
+
+
+class TestNodeHooks:
+    def test_node_crash_fires_on_leading_epochs_only(self):
+        injector = FaultInjector(parse_faults("node-crash:shard-2:2"))
+        assert injector.node_crash_active("shard-2", 1)
+        assert injector.node_crash_active("shard-2", 2)
+        assert not injector.node_crash_active("shard-2", 3)
+        assert not injector.node_crash_active("shard-9", 1)
+        always = FaultInjector(parse_faults("node-crash:shard-2:*"))
+        assert always.node_crash_active("shard-2", 99)
+
+    def test_netsplit_hits_first_epoch_only(self):
+        """The work stealer (epoch 2) must not inherit the split, or the
+        recovery path under test would never converge."""
+        injector = FaultInjector(parse_faults("node-netsplit:shard-1:2.5"))
+        assert injector.node_netsplit_seconds("shard-1", 1) == 2.5
+        assert injector.node_netsplit_seconds("shard-1", 2) is None
+        assert injector.node_netsplit_seconds("shard-0", 1) is None
+
+    def test_slowjoin_default_when_absent(self):
+        assert FaultInjector([]).node_slowjoin_seconds() == 0.0
+        injector = FaultInjector(parse_faults("node-slowjoin:0.3"))
+        assert injector.node_slowjoin_seconds() == 0.3
 
 
 class TestInstallation:

@@ -123,3 +123,38 @@ class TestVerifyPartition:
     def test_workers_validation(self):
         with pytest.raises(ValueError):
             RunnerSettings(workers=0)
+
+
+class TestSettingsValidation:
+    """RunnerSettings.__post_init__ is the single validation authority:
+    programmatic construction and the CLI (which catches the ValueError
+    and maps it to exit 2) must reject the same combinations."""
+
+    def test_batch_cells_rejects_parallel_pool(self):
+        with pytest.raises(ValueError, match="workers == 1"):
+            RunnerSettings(workers=2, batch_cells=True)
+
+    def test_batch_cells_rejects_wallclock_budgets(self):
+        with pytest.raises(ValueError, match="cell_timeout/deadline"):
+            RunnerSettings(batch_cells=True, cell_timeout=1.0)
+        with pytest.raises(ValueError, match="cell_timeout/deadline"):
+            RunnerSettings(batch_cells=True, deadline=60.0)
+
+    def test_batch_cells_compatible_combo_accepted(self):
+        settings = RunnerSettings(workers=1, batch_cells=True)
+        assert settings.batch_cells
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cell_timeout": 0.0},
+            {"cell_timeout": -1.0},
+            {"deadline": -5.0},
+            {"max_retries": -1},
+            {"retry_backoff": -0.1},
+            {"witness_timeout": 0.0},
+        ],
+    )
+    def test_budget_fields_validated(self, kwargs):
+        with pytest.raises(ValueError):
+            RunnerSettings(**kwargs)

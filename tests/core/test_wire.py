@@ -1,0 +1,126 @@
+"""Unit tests for the length-prefixed JSON framing layer."""
+
+import socket
+
+import pytest
+
+from repro.core.wire import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+    parse_hostport,
+    recv_frame,
+    send_frame,
+)
+
+
+def socket_pair():
+    return socket.socketpair()
+
+
+class TestRoundTrip:
+    def test_send_then_recv(self):
+        a, b = socket_pair()
+        try:
+            send_frame(a, {"type": "hello", "node": "n0", "n": 3})
+            assert recv_frame(b) == {"type": "hello", "node": "n0", "n": 3}
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_frames_fifo(self):
+        a, b = socket_pair()
+        try:
+            for i in range(5):
+                send_frame(a, {"i": i})
+            assert [recv_frame(b)["i"] for _ in range(5)] == list(range(5))
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_mid_frame_raises_eoferror(self):
+        a, b = socket_pair()
+        try:
+            frame = encode_frame({"type": "result", "big": "x" * 100})
+            a.sendall(frame[: len(frame) // 2])
+            a.close()
+            with pytest.raises(EOFError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_header_rejected_before_allocation(self):
+        a, b = socket_pair()
+        try:
+            a.sendall(HEADER.pack(MAX_FRAME_BYTES + 1))
+            with pytest.raises(FrameError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_payload_rejected(self):
+        a, b = socket_pair()
+        try:
+            data = b'[1, 2, 3]'
+            a.sendall(HEADER.pack(len(data)) + data)
+            with pytest.raises(FrameError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestFrameDecoder:
+    def test_burst_of_frames_in_one_feed(self):
+        blob = b"".join(encode_frame({"i": i}) for i in range(4))
+        frames = FrameDecoder().feed(blob)
+        assert [f["i"] for f in frames] == [0, 1, 2, 3]
+
+    def test_byte_at_a_time_reassembly(self):
+        blob = b"".join(encode_frame({"i": i}) for i in range(3))
+        decoder = FrameDecoder()
+        out = []
+        for k in range(len(blob)):
+            out.extend(decoder.feed(blob[k : k + 1]))
+        assert [f["i"] for f in out] == [0, 1, 2]
+
+    def test_partial_tail_buffered_across_feeds(self):
+        frame = encode_frame({"type": "grant", "cells": list(range(20))})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:7]) == []
+        frames = decoder.feed(frame[7:])
+        assert len(frames) == 1 and frames[0]["type"] == "grant"
+
+    def test_garbage_json_raises(self):
+        bad = b"not json"
+        with pytest.raises(FrameError):
+            FrameDecoder().feed(HEADER.pack(len(bad)) + bad)
+
+    def test_oversized_announcement_raises(self):
+        with pytest.raises(FrameError):
+            FrameDecoder().feed(HEADER.pack(MAX_FRAME_BYTES + 1))
+
+
+class TestEncode:
+    def test_compact_deterministic_bytes(self):
+        one = encode_frame({"b": 1, "a": 2})
+        two = encode_frame({"b": 1, "a": 2})
+        assert one == two
+        (length,) = HEADER.unpack(one[: HEADER.size])
+        assert length == len(one) - HEADER.size
+
+
+class TestParseHostPort:
+    def test_variants(self):
+        assert parse_hostport("10.0.0.5:9000") == ("10.0.0.5", 9000)
+        assert parse_hostport(":9000") == ("127.0.0.1", 9000)
+        assert parse_hostport("myhost", default_port=7777) == ("myhost", 7777)
+        assert parse_hostport("127.0.0.1:0") == ("127.0.0.1", 0)
+
+    @pytest.mark.parametrize("bad", ["", "host:notaport", "host:70000"])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_hostport(bad)

@@ -596,3 +596,121 @@ class TestLiveTelemetryEndToEnd:
         finished = [e for e in events if e["kind"] == "cell.finished"]
         assert len(finished) == 4
         assert len([e for e in events if e["kind"] == "campaign.started"]) == 1
+
+
+# ----------------------------------------------------------------------
+# Distributed campaigns: node panel
+# ----------------------------------------------------------------------
+class TestNodeTelemetry:
+    def fold(self, snapshot, *events):
+        now = time.time()
+        for kind, fields in events:
+            snapshot.on_event({"ts": now, "kind": kind, **fields})
+
+    def node_events(self):
+        return [
+            ("campaign.started", {"total": 10, "workers": 0,
+                                  "distributed": True, "shards": 4}),
+            ("node.connected", {"node": "node-0", "workers": 2, "pid": 500}),
+            ("node.connected", {"node": "node-1", "workers": 2, "pid": 501}),
+            ("lease.granted", {"node": "node-0", "shard": "shard-0",
+                               "epoch": 1, "cells": 5, "stolen": False}),
+            ("node.heartbeat", {"node": "node-0", "shard": "shard-0",
+                                "epoch": 1, "rss_bytes": 2048}),
+            ("cell.finished", {"worker": None, "node": "node-0",
+                               "cell_id": "cell-3", "seq": 3,
+                               "verdict_class": "proved"}),
+            ("lease.expired", {"node": "node-1", "shard": "shard-1",
+                               "epoch": 1, "reason": "lease-timeout"}),
+            ("node.fenced", {"node": "node-1", "shard": "shard-1",
+                             "epoch": 1, "frame": "result"}),
+            ("node.disconnected", {"node": "node-1", "reason": "disconnect"}),
+        ]
+
+    def test_snapshot_folds_node_events(self):
+        snap = CampaignSnapshot("dist-run")
+        self.fold(snap, *self.node_events())
+        status = snap.to_dict()
+        assert status["shards"] == 4
+        assert status["leases_expired"] == 1
+        assert status["fenced_frames"] == 1
+        nodes = {n["node"]: n for n in status["nodes"]}
+        assert nodes["node-0"]["state"] == "computing"
+        assert nodes["node-0"]["shard"] == "shard-0"
+        assert nodes["node-0"]["epoch"] == 1
+        assert nodes["node-0"]["cells_completed"] == 1
+        assert nodes["node-0"]["rss_bytes"] == 2048
+        assert nodes["node-0"]["lease_age"] is not None
+        assert nodes["node-1"]["state"] == "disconnected"
+        assert nodes["node-1"]["disconnect_reason"] == "disconnect"
+        assert nodes["node-1"]["fenced"] == 1
+        assert nodes["node-1"]["leases_lost"] == 1
+        assert nodes["node-1"]["shard"] is None
+        # Node-attributed cells count campaign progress exactly once.
+        assert status["done"] == 1
+
+    def test_lease_completion_clears_the_shard(self):
+        snap = CampaignSnapshot("dist-run")
+        self.fold(
+            snap,
+            ("node.connected", {"node": "node-0", "workers": 1, "pid": 1}),
+            ("lease.granted", {"node": "node-0", "shard": "shard-2",
+                               "epoch": 1, "cells": 3, "stolen": False}),
+            ("lease.completed", {"node": "node-0", "shard": "shard-2",
+                                 "epoch": 1}),
+        )
+        node = snap.to_dict()["nodes"][0]
+        assert node["state"] == "connected"
+        assert node["shard"] is None and node["lease_age"] is None
+
+    def test_render_watch_shows_node_panel(self):
+        snap = CampaignSnapshot("dist-run")
+        self.fold(snap, *self.node_events())
+        frame = render_watch(snap.to_dict())
+        assert "nodes (2, 1 lost; 4 shards" in frame
+        assert "lease age" in frame and "cell/s" in frame
+        assert "shard-0@1" in frame
+        assert "disconnected (disconnect)" in frame
+        assert "1 leases expired" in frame and "1 frames fenced" in frame
+
+    def test_render_watch_hides_panel_for_single_host(self):
+        snap = CampaignSnapshot("plain-run")
+        self.fold(snap, ("campaign.started", {"total": 4, "workers": 2}))
+        assert "nodes (" not in render_watch(snap.to_dict())
+
+    def test_render_prometheus_node_metrics(self):
+        snap = CampaignSnapshot("dist-run")
+        self.fold(snap, *self.node_events())
+        text = render_prometheus(snap.to_dict())
+        assert 'repro_node_up{node="node-0"} 1' in text
+        assert 'repro_node_up{node="node-1"} 0' in text
+        assert 'repro_node_cells_completed{node="node-0"} 1' in text
+        assert 'repro_node_fenced_frames_total{node="node-1"} 1' in text
+        assert "repro_campaign_leases_expired_total 1" in text
+        assert "repro_campaign_fenced_frames_total 1" in text
+
+    def test_ledger_record_carries_nodes(self):
+        from repro.obs import RunRecord
+
+        class FakeReport:
+            settings_summary = {
+                "distributed": {"nodes_seen": ["node-0", "node-1"]}
+            }
+            metrics = {}
+            wall_seconds = 1.0
+
+            def verdict_counts(self):
+                return {"proved": 1, "total": 1}
+
+            def coverage_percent(self):
+                return 100.0
+
+            def total_elapsed(self):
+                return 1.0
+
+        record = record_from_report(FakeReport(), kind="coordinate")
+        assert record.nodes == ["node-0", "node-1"]
+        assert "nodes 2" in record.summary_line()
+        # Tolerant round-trip: old payloads without the field read back.
+        assert RunRecord.from_dict({"run_id": "x"}).nodes == []
+        assert RunRecord.from_dict(record.to_dict()).nodes == record.nodes
